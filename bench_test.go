@@ -1,0 +1,218 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at bench scale (see DESIGN.md's experiment index). Each benchmark runs the
+// corresponding experiment end to end and reports its headline numbers as
+// custom metrics; run with -v to also see the regenerated rows.
+//
+// cmd/repro produces the same artifacts at full repro scale.
+package thermostat
+
+import (
+	"testing"
+
+	"thermostat/internal/harness"
+	"thermostat/internal/workload"
+)
+
+// benchOptions returns a small, fast profile: the shapes survive, absolute
+// statistics are noisier than cmd/repro's.
+func benchOptions(apps ...workload.Spec) harness.Options {
+	sc := harness.Tiny()
+	sc.DurationNs = 6e9
+	sc.WarmupNs = 15e8
+	return harness.Options{Scale: sc, Apps: apps}
+}
+
+func BenchmarkFig1IdleFraction(b *testing.B) {
+	opt := benchOptions(workload.MySQLTPCC(), workload.Redis())
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig1(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IdleFrac["mysql-tpcc"]*100, "mysql_idle_%")
+		b.ReportMetric(res.IdleFrac["redis"]*100, "redis_idle_%")
+		if i == 0 {
+			b.Log("\n" + res.Bar())
+		}
+	}
+}
+
+func BenchmarkFig2AccessedBitCorrelation(b *testing.B) {
+	opt := benchOptions()
+	opt.Scale.DurationNs = 4e9
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig2(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Pearson, "pearson_r")
+		b.ReportMetric(float64(len(res.Points)), "pages")
+	}
+}
+
+func BenchmarkTable1HugePageGain(b *testing.B) {
+	opt := benchOptions(workload.Redis(), workload.WebSearch())
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table1(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.App {
+			case "redis":
+				b.ReportMetric(r.GainPct, "redis_gain_%")
+			case "web-search":
+				b.ReportMetric(r.GainPct, "websearch_gain_%")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + harness.Table1Table(rows).String())
+		}
+	}
+}
+
+// coldDataBench runs one app's Figure 5-10 style experiment.
+func coldDataBench(b *testing.B, spec workload.Spec) {
+	b.Helper()
+	opt := benchOptions(spec)
+	for i := 0; i < b.N; i++ {
+		runs, err := harness.RunAll(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := runs[spec.Name]
+		b.ReportMetric(r.ColdFraction*100, "cold_%")
+		b.ReportMetric(r.Slowdown*100, "slowdown_%")
+		if i == 0 {
+			for _, f := range harness.ColdData(runs, opt) {
+				b.Log("\n" + f.Table().String())
+			}
+		}
+	}
+}
+
+func BenchmarkFig5CassandraColdData(b *testing.B) {
+	coldDataBench(b, workload.Cassandra(workload.WriteHeavy))
+}
+
+func BenchmarkFig6TPCCColdData(b *testing.B) {
+	coldDataBench(b, workload.MySQLTPCC())
+}
+
+func BenchmarkFig7AerospikeColdData(b *testing.B) {
+	coldDataBench(b, workload.Aerospike(workload.ReadHeavy))
+}
+
+func BenchmarkFig8RedisColdData(b *testing.B) {
+	coldDataBench(b, workload.Redis())
+}
+
+func BenchmarkFig9AnalyticsColdData(b *testing.B) {
+	coldDataBench(b, workload.InMemAnalytics())
+}
+
+func BenchmarkFig10WebSearchColdData(b *testing.B) {
+	coldDataBench(b, workload.WebSearch())
+}
+
+func BenchmarkFig3SlowMemRate(b *testing.B) {
+	opt := benchOptions(workload.MySQLTPCC())
+	for i := 0; i < b.N; i++ {
+		runs, err := harness.RunAll(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series := harness.Fig3(runs, opt)
+		if len(series) != 1 {
+			b.Fatal("missing series")
+		}
+		b.ReportMetric(series[0].MeanPostWarmup, "slow_rate_per_s")
+		b.ReportMetric(series[0].TargetRate, "target_per_s")
+	}
+}
+
+func BenchmarkTable2Footprints(b *testing.B) {
+	opt := benchOptions(workload.Cassandra(workload.WriteHeavy))
+	for i := 0; i < b.N; i++ {
+		runs, err := harness.RunAll(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := harness.Table2(runs, opt)
+		b.ReportMetric(rows[0].RSSGB, "rss_gb")
+		b.ReportMetric(rows[0].FileGB, "file_gb")
+	}
+}
+
+func BenchmarkFig11SlowdownSweep(b *testing.B) {
+	opt := benchOptions(workload.MySQLTPCC())
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig11(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.SlowdownPct {
+			case 3:
+				b.ReportMetric(r.ColdFraction*100, "cold@3%_%")
+			case 10:
+				b.ReportMetric(r.ColdFraction*100, "cold@10%_%")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + harness.Fig11Table(rows).String())
+		}
+	}
+}
+
+func BenchmarkTable3MigrationBandwidth(b *testing.B) {
+	opt := benchOptions(workload.Redis())
+	for i := 0; i < b.N; i++ {
+		runs, err := harness.RunAll(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := harness.Table3(runs, opt)
+		b.ReportMetric(rows[0].MigrationMBps, "migration_MBps")
+		b.ReportMetric(rows[0].FalseClassMBps, "falseclass_MBps")
+	}
+}
+
+func BenchmarkTable4CostSavings(b *testing.B) {
+	opt := benchOptions(workload.Cassandra(workload.WriteHeavy))
+	for i := 0; i < b.N; i++ {
+		runs, err := harness.RunAll(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := harness.Table4(runs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].SavingsPct[0], "savings@0.33x_%")
+		b.ReportMetric(rows[0].SavingsPct[2], "savings@0.2x_%")
+	}
+}
+
+// BenchmarkAccessPath measures the simulator's raw access throughput (the
+// cost of one simulated memory access through TLB, walk, cache, and tiers).
+func BenchmarkAccessPath(b *testing.B) {
+	m, err := NewMachine(DefaultMachineConfig(64<<20, 64<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := NewWorkload(Redis(), 1024, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := app.Init(m); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, w := app.Next()
+		if _, err := m.Access(v, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

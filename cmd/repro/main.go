@@ -1,0 +1,338 @@
+// Command repro regenerates every table and figure from the paper's
+// evaluation (see DESIGN.md for the experiment index):
+//
+//	repro -exp all                     # everything, repro scale
+//	repro -exp fig1,table1 -scale bench
+//	repro -exp colddata -apps cassandra,redis
+//	repro -exp fig11 -csv out/         # also dump CSVs
+//
+// Experiments: fig1, naive, fig2, table1, table2, fig3, colddata (figures
+// 5-10), fig11, table3, table4, baselines (policy comparison), ablations
+// (design-choice studies).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"thermostat/internal/harness"
+	"thermostat/internal/report"
+	"thermostat/internal/stats"
+	"thermostat/internal/workload"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiments or 'all'")
+		scaleFlag = flag.String("scale", "repro", "scale profile: tiny, bench, repro")
+		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: all six)")
+		slowdown  = flag.Float64("slowdown", 3, "tolerable slowdown percent for Thermostat runs")
+		csvDir    = flag.String("csv", "", "directory to also write CSV outputs into")
+		svgDir    = flag.String("svg", "", "directory to also render SVG figures into")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		duration  = flag.Float64("duration", 0, "override run length in simulated seconds")
+	)
+	flag.Parse()
+
+	sc, err := scaleByName(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	sc.Seed = *seed
+	if *duration > 0 {
+		sc.DurationNs = int64(*duration * 1e9)
+		if sc.WarmupNs >= sc.DurationNs {
+			sc.WarmupNs = sc.DurationNs / 5
+		}
+	}
+
+	opt := harness.Options{Scale: sc, SlowdownPct: *slowdown}
+	if *appsFlag != "" {
+		for _, name := range strings.Split(*appsFlag, ",") {
+			spec, ok := workload.ByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("unknown application %q", name))
+			}
+			opt.Apps = append(opt.Apps, spec)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+
+	emit := func(name string, t *report.Table) {
+		fmt.Println(t.String())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, name, t); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	// Experiments that share the paired baseline/Thermostat runs.
+	needRuns := selected("fig3") || selected("table2") || selected("colddata") ||
+		selected("table3") || selected("table4")
+	var runs map[string]*harness.AppRun
+	if needRuns {
+		fmt.Fprintf(os.Stderr, "running baseline + thermostat pairs (%s scale)...\n", sc.Name)
+		runs, err = harness.RunAll(opt)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if selected("fig1") {
+		fmt.Fprintln(os.Stderr, "running fig1 (Accessed-bit idle fractions)...")
+		r, err := harness.Fig1(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Bar())
+		emit("fig1", r.Table())
+		if *svgDir != "" {
+			apps := opt.Apps
+			if len(apps) == 0 {
+				apps = workload.All()
+			}
+			var labels []string
+			var vals []float64
+			for _, spec := range apps {
+				labels = append(labels, spec.Name)
+				vals = append(vals, r.IdleFrac[spec.Name]*100)
+			}
+			writeSVG(*svgDir, "fig1", &report.BarPlot{
+				Title: "Figure 1: 2MB pages idle for 10s", YLabel: "idle fraction (%)",
+				Labels: labels, Groups: [][]float64{vals},
+			})
+		}
+	}
+	if selected("naive") {
+		fmt.Fprintln(os.Stderr, "running naive idle-bit placement on redis...")
+		n, err := harness.NaivePlacement(workload.Redis(), opt)
+		if err != nil {
+			fatal(err)
+		}
+		t := report.NewTable("Naive Accessed-bit placement (Figure 1 caption check)",
+			"application", "slowdown_pct", "cold_fraction_pct", "demotions", "promotions")
+		t.AddF(n.App, n.Slowdown*100, n.ColdFraction*100, n.Demotions, n.Promotions)
+		emit("naive", t)
+	}
+	if selected("fig2") {
+		fmt.Fprintln(os.Stderr, "running fig2 (Accessed-bit correlation scatter)...")
+		r, err := harness.Fig2(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig2", r.Table())
+		if *svgDir != "" {
+			var xs, ys []float64
+			for _, pt := range r.Points {
+				xs = append(xs, float64(pt.HotRegions))
+				ys = append(ys, pt.RatePerSec)
+			}
+			writeSVG(*svgDir, "fig2", &report.ScatterPlot{
+				Title:  fmt.Sprintf("Figure 2: Redis (Pearson r = %.2f)", r.Pearson),
+				XLabel: "hot 4KB regions per 2MB page", YLabel: "true accesses/sec",
+				X: xs, Y: ys,
+			})
+		}
+	}
+	if selected("table1") {
+		fmt.Fprintln(os.Stderr, "running table1 (huge page gains)...")
+		rows, err := harness.Table1(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table1", harness.Table1Table(rows))
+	}
+	if selected("table2") {
+		emit("table2", harness.Table2Table(harness.Table2(runs, opt)))
+	}
+	if selected("fig3") {
+		series := harness.Fig3(runs, opt)
+		emit("fig3", harness.Fig3Table(series))
+		if *svgDir != "" {
+			var ss []*stats.Series
+			for _, s := range series {
+				ss = append(ss, s.Rate)
+			}
+			target := 0.0
+			if len(series) > 0 {
+				target = series[0].TargetRate
+			}
+			writeSVG(*svgDir, "fig3", &report.LinePlot{
+				Title:  "Figure 3: slow memory access rate over time",
+				XLabel: "time (s)", YLabel: "accesses/sec (paper units)",
+				Series: ss, HLine: target,
+			})
+		}
+	}
+	if selected("colddata") {
+		for _, f := range harness.ColdData(runs, opt) {
+			emit("colddata-"+f.App, f.Table())
+			if *svgDir != "" {
+				writeSVG(*svgDir, "colddata-"+f.App, &report.LinePlot{
+					Title: fmt.Sprintf("Cold data over time: %s (slowdown %.1f%%)",
+						f.App, f.Slowdown*100),
+					XLabel: "time (s)", YLabel: "memory footprint (GB)",
+					Series:  []*stats.Series{f.Cold2M, f.Cold4K, f.Hot2M, f.Hot4K},
+					Stacked: true,
+				})
+			}
+		}
+	}
+	if selected("fig11") {
+		fmt.Fprintln(os.Stderr, "running fig11 (slowdown sweep)...")
+		rows, err := harness.Fig11(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig11", harness.Fig11Table(rows))
+		if *svgDir != "" {
+			byTarget := map[float64][]float64{}
+			var labels []string
+			seen := map[string]bool{}
+			for _, r := range rows {
+				if !seen[r.App] {
+					seen[r.App] = true
+					labels = append(labels, r.App)
+				}
+				byTarget[r.SlowdownPct] = append(byTarget[r.SlowdownPct], r.ColdFraction*100)
+			}
+			writeSVG(*svgDir, "fig11", &report.BarPlot{
+				Title:  "Figure 11: cold fraction vs tolerable slowdown",
+				YLabel: "cold fraction (%)", Labels: labels,
+				Groups:     [][]float64{byTarget[3], byTarget[6], byTarget[10]},
+				GroupNames: []string{"3%", "6%", "10%"},
+			})
+		}
+	}
+	if selected("table3") {
+		emit("table3", harness.Table3Table(harness.Table3(runs, opt)))
+	}
+	if selected("table4") {
+		rows, err := harness.Table4(runs, opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table4", harness.Table4Table(rows))
+	}
+	if selected("baselines") {
+		fmt.Fprintln(os.Stderr, "running baseline policy comparison...")
+		apps := opt.Apps
+		if len(apps) == 0 {
+			apps = []workload.Spec{workload.Cassandra(workload.WriteHeavy), workload.Redis()}
+		}
+		for _, spec := range apps {
+			_, t, err := harness.CompareBaselines(spec, opt)
+			if err != nil {
+				fatal(err)
+			}
+			emit("baselines-"+spec.Name, t)
+		}
+	}
+	if selected("ablations") {
+		runAblations(opt, emit)
+	}
+}
+
+// runAblations regenerates the design-choice studies DESIGN.md indexes.
+func runAblations(opt harness.Options, emit func(string, *report.Table)) {
+	cassandra := workload.Cassandra(workload.WriteHeavy)
+	aerospike := workload.Aerospike(workload.ReadHeavy)
+
+	fmt.Fprintln(os.Stderr, "ablation: poison budget K...")
+	if _, t, err := harness.AblationPoisonBudget(cassandra, opt); err != nil {
+		fatal(err)
+	} else {
+		emit("ablation-k", t)
+	}
+	fmt.Fprintln(os.Stderr, "ablation: sample fraction...")
+	if _, t, err := harness.AblationSampleFraction(cassandra, opt); err != nil {
+		fatal(err)
+	} else {
+		emit("ablation-fraction", t)
+	}
+	fmt.Fprintln(os.Stderr, "ablation: accessed-bit prefilter...")
+	if _, t, err := harness.AblationPrefilter(aerospike, opt); err != nil {
+		fatal(err)
+	} else {
+		emit("ablation-prefilter", t)
+	}
+	fmt.Fprintln(os.Stderr, "ablation: correction under rotation...")
+	if _, t, err := harness.AblationCorrection(opt); err != nil {
+		fatal(err)
+	} else {
+		emit("ablation-correction", t)
+	}
+	fmt.Fprintln(os.Stderr, "ablation: trap placement...")
+	if _, t, err := harness.AblationTrapPlacement(cassandra, opt); err != nil {
+		fatal(err)
+	} else {
+		emit("ablation-trap", t)
+	}
+	fmt.Fprintln(os.Stderr, "ablation: slow-memory model...")
+	if _, t, err := harness.AblationSlowMemMode(cassandra, opt); err != nil {
+		fatal(err)
+	} else {
+		emit("ablation-slowmode", t)
+	}
+	fmt.Fprintln(os.Stderr, "ablation: §6.1 counters...")
+	if _, t, err := harness.AblationCounters(opt); err != nil {
+		fatal(err)
+	} else {
+		emit("ablation-counters", t)
+	}
+}
+
+func scaleByName(name string) (harness.Scale, error) {
+	switch name {
+	case "tiny":
+		return harness.Tiny(), nil
+	case "bench":
+		return harness.Bench(), nil
+	case "repro":
+		return harness.Repro(), nil
+	default:
+		return harness.Scale{}, fmt.Errorf("unknown scale %q (tiny, bench, repro)", name)
+	}
+}
+
+func writeSVG(dir, name string, plot interface{ WriteSVG(io.Writer) error }) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name+".svg"))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := plot.WriteSVG(f); err != nil {
+		fatal(err)
+	}
+}
+
+func writeCSV(dir, name string, t *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Command thermostat-sim runs one application model under a chosen
+// placement policy and reports throughput, slowdown-relevant counters, and
+// the hot/cold footprint over time:
+//
+//	thermostat-sim -app redis -policy thermostat -slowdown 3
+//	thermostat-sim -app cassandra-write-heavy -policy idle-demote
+//	thermostat-sim -app mysql-tpcc -policy all-dram -duration 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermostat/internal/core"
+	"thermostat/internal/harness"
+	"thermostat/internal/report"
+	"thermostat/internal/sim"
+	"thermostat/internal/workload"
+)
+
+func main() {
+	var (
+		appFlag   = flag.String("app", "redis", "application model (see -list)")
+		polFlag   = flag.String("policy", "thermostat", "thermostat, idle-demote, or all-dram")
+		slowdown  = flag.Float64("slowdown", 3, "tolerable slowdown percent (thermostat)")
+		idleSecs  = flag.Float64("idle-window", 10, "idle window seconds (idle-demote)")
+		scaleName = flag.String("scale", "repro", "scale profile: tiny, bench, repro")
+		duration  = flag.Float64("duration", 0, "override run length in (simulated) seconds")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		list      = flag.Bool("list", false, "list application models and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.All() {
+			fmt.Println(s.Name)
+		}
+		fmt.Println("aerospike-write-heavy")
+		fmt.Println("cassandra-read-heavy")
+		return
+	}
+
+	spec, ok := workload.ByName(*appFlag)
+	if !ok {
+		fatal(fmt.Errorf("unknown application %q (try -list)", *appFlag))
+	}
+	var sc harness.Scale
+	switch *scaleName {
+	case "tiny":
+		sc = harness.Tiny()
+	case "bench":
+		sc = harness.Bench()
+	case "repro":
+		sc = harness.Repro()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+	sc.Seed = *seed
+	if *duration > 0 {
+		sc.DurationNs = int64(*duration * 1e9)
+		if sc.WarmupNs >= sc.DurationNs {
+			sc.WarmupNs = sc.DurationNs / 5
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "running %s baseline...\n", spec.Name)
+	base, err := harness.RunBaseline(spec, sc)
+	if err != nil {
+		fatal(err)
+	}
+
+	var outcome *harness.Outcome
+	switch *polFlag {
+	case "thermostat":
+		fmt.Fprintf(os.Stderr, "running %s under thermostat (%.0f%% target)...\n", spec.Name, *slowdown)
+		outcome, err = harness.RunThermostat(spec, sc, *slowdown)
+	case "idle-demote":
+		fmt.Fprintf(os.Stderr, "running %s under idle-demote...\n", spec.Name)
+		interval := int64(*idleSecs * 1e9 * float64(sc.TimeDilate) / 4)
+		outcome, err = harness.RunPolicy(spec, sc, &core.IdleDemote{Interval: interval, IdleScans: 4})
+	case "all-dram":
+		outcome, err = harness.RunBaseline(spec, sc)
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *polFlag))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	res := outcome.Result
+	fp := res.FinalFootprint
+	summary := report.NewTable("Run summary", "metric", "value")
+	summary.AddF("application", spec.Name)
+	summary.AddF("policy", res.PolicyName)
+	summary.AddF("simulated_seconds", float64(res.DurationNs)/1e9)
+	summary.AddF("ops", res.Ops)
+	summary.AddF("throughput_ops_per_s", res.Throughput)
+	summary.AddF("baseline_ops_per_s", base.Result.Throughput)
+	summary.AddF("slowdown_pct", sim.Slowdown(base.Result, res)*100)
+	summary.AddF("cold_fraction_pct", fp.ColdFraction()*100)
+	summary.AddF("cold_2m_mb", float64(fp.Cold2M)/(1<<20))
+	summary.AddF("cold_4k_mb", float64(fp.Cold4K)/(1<<20))
+	summary.AddF("hot_2m_mb", float64(fp.Hot2M)/(1<<20))
+	summary.AddF("slow_accesses", res.Metrics.SlowAccesses)
+	summary.AddF("poison_faults", res.Metrics.PoisonFaults)
+	summary.AddF("tlb_miss_rate", res.Metrics.TLB.MissRate())
+	summary.AddF("llc_miss_rate", res.Metrics.LLC.MissRate())
+	// §4.4: Thermostat's scan/sort work runs on spare cores; report its CPU
+	// share of one core over the run.
+	summary.AddF("daemon_cpu_core_share", float64(outcome.Machine.DaemonNs())/float64(res.DurationNs))
+	if outcome.Engine != nil {
+		st := outcome.Engine.Stats()
+		summary.AddF("pages_sampled", st.Sampled)
+		summary.AddF("demotions", st.Demotions)
+		summary.AddF("promotions_corrections", st.Promotions)
+	}
+	fmt.Println(summary.String())
+
+	fmt.Println(report.SeriesTable("Footprint over time (bytes)",
+		res.Cold2M, res.Cold4K, res.Hot2M, res.Hot4K).String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermostat-sim:", err)
+	os.Exit(1)
+}

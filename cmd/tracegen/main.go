@@ -1,0 +1,189 @@
+// Command tracegen records an application model's access stream to a trace
+// file, inspects traces, and replays them under a policy:
+//
+//	tracegen -app redis -n 1000000 -out redis.trace
+//	tracegen -inspect redis.trace
+//	tracegen -replay redis.trace -policy thermostat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/core"
+	"thermostat/internal/harness"
+	"thermostat/internal/sim"
+	"thermostat/internal/trace"
+	"thermostat/internal/workload"
+)
+
+func main() {
+	var (
+		appFlag = flag.String("app", "redis", "application model to record")
+		n       = flag.Uint64("n", 1_000_000, "number of accesses to record")
+		out     = flag.String("out", "", "output trace path (record mode)")
+		inspect = flag.String("inspect", "", "trace path to summarize")
+		replay  = flag.String("replay", "", "trace path to replay")
+		polFlag = flag.String("policy", "thermostat", "replay policy: thermostat or all-dram")
+		scale   = flag.Uint64("scale", 64, "footprint divisor for recording")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		if err := doInspect(*inspect); err != nil {
+			fatal(err)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *polFlag); err != nil {
+			fatal(err)
+		}
+	case *out != "":
+		if err := doRecord(*appFlag, *out, *n, *scale, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("one of -out, -inspect, or -replay is required"))
+	}
+}
+
+func doRecord(appName, path string, n, scale, seed uint64) error {
+	spec, ok := workload.ByName(appName)
+	if !ok {
+		return fmt.Errorf("unknown application %q", appName)
+	}
+	app, err := workload.NewApp(spec, scale, seed)
+	if err != nil {
+		return err
+	}
+	var footprint uint64
+	var regions []trace.RegionInfo
+	for _, seg := range spec.Segments {
+		size := seg.Bytes / scale
+		if size < addr.PageSize2M {
+			size = addr.PageSize2M
+		}
+		size = (size + addr.PageSize2M - 1) / addr.PageSize2M * addr.PageSize2M
+		regions = append(regions, trace.RegionInfo{Size: size, Huge: true})
+		footprint += size
+	}
+	m, err := sim.New(sim.DefaultConfig(footprint*2, footprint))
+	if err != nil {
+		return err
+	}
+	if err := app.Init(m); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, regions, spec.ComputeNs)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		v, wr := app.Next()
+		if err := w.Write(trace.Record{V: v, Write: wr}); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d accesses of %s to %s\n", n, spec.Name, path)
+	return nil
+}
+
+func doInspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var count, writes uint64
+	pages2M := map[uint64]uint64{}
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			break
+		}
+		count++
+		if rec.Write {
+			writes++
+		}
+		pages2M[rec.V.PageNum2M()]++
+	}
+	fmt.Printf("records:        %d\n", count)
+	fmt.Printf("writes:         %d (%.1f%%)\n", writes, 100*float64(writes)/float64(count))
+	fmt.Printf("regions:        %d\n", len(r.Regions()))
+	fmt.Printf("compute_ns:     %d\n", r.ComputeNs())
+	fmt.Printf("2MB pages seen: %d\n", len(pages2M))
+	return nil
+}
+
+func doReplay(path, polName string) error {
+	rp, err := trace.NewReplay("replay", func() (*trace.Reader, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		return trace.NewReader(f)
+	})
+	if err != nil {
+		return err
+	}
+	var footprint uint64
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	hdr, err := trace.NewReader(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	for _, reg := range hdr.Regions() {
+		footprint += reg.Size
+	}
+
+	sc := harness.Bench()
+	cfg := sim.DefaultConfig(footprint*2, footprint+64<<20)
+	cfg.TLB.L1Entries, cfg.TLB.L2Entries = 4, 32
+	m, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	var pol sim.Policy = sim.NullPolicy{Interval: sc.PeriodNs}
+	if polName == "thermostat" {
+		g, err := sc.Group(3)
+		if err != nil {
+			return err
+		}
+		pol = core.NewEngine(g, 1)
+	}
+	res, err := sim.Run(m, rp, pol, sim.RunConfig{
+		DurationNs: sc.DurationNs, WarmupNs: sc.WarmupNs, WindowNs: sc.PeriodNs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d ops (%d trace loops) in %.1fs simulated\n",
+		res.Ops, rp.Loops(), float64(res.DurationNs)/1e9)
+	fmt.Printf("throughput: %.0f ops/s, cold fraction: %.1f%%\n",
+		res.Throughput, res.FinalFootprint.ColdFraction()*100)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// database: the TPC-C scenario from the paper's motivation — an OLTP
+// database whose LINEITEM table dominates the footprint but is almost never
+// read. Thermostat finds it and moves it to slow memory while the hot
+// tables and indexes stay in DRAM; the example then retunes the slowdown
+// knob at runtime through the cgroup interface (§5.1).
+//
+//	go run ./examples/database
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermostat"
+)
+
+func main() {
+	const scale = 16
+	spec := thermostat.MySQLTPCC()
+
+	cfg := thermostat.DefaultMachineConfig(800<<20, 700<<20)
+	cfg.TLB.L1Entries, cfg.TLB.L2Entries = 4, 64
+	cfg.LLC.SizeBytes = 3 << 20
+	m, err := thermostat.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := thermostat.NewWorkload(spec, scale, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the engine inside an explicit cgroup so the knob can move at
+	// runtime.
+	params := thermostat.DefaultParams()
+	params.SamplePeriodNs = 15e8 // 1.5s scan interval for the short demo
+	group, err := thermostat.NewGroup("oltp", params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := thermostat.NewEngineInGroup(group, 5)
+
+	// Phase 1: conservative 3% target.
+	res1, err := thermostat.Run(m, app, engine, thermostat.RunConfig{DurationNs: 30e9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp1 := res1.FinalFootprint
+	fmt.Printf("phase 1 (3%% target):  %.0f ops/s, cold %4.0f%% of %d MB\n",
+		res1.Throughput, fp1.ColdFraction()*100, fp1.Total()>>20)
+
+	// Phase 2: the administrator decides 10% slowdown is acceptable
+	// tonight (batch window) — retune live, keep running on the same
+	// machine and page tables. More lukewarm data becomes movable, but
+	// TPCC saturates: the remaining tables are simply hot (Figure 11).
+	if err := group.SetTolerableSlowdown(10); err != nil {
+		log.Fatal(err)
+	}
+	start := m.Clock()
+	next := start + params.SamplePeriodNs
+	var ops uint64
+	for m.Clock()-start < 30e9 {
+		v, w := app.Next()
+		if _, err := m.Access(v, w); err != nil {
+			log.Fatal(err)
+		}
+		m.AdvanceClock(spec.ComputeNs)
+		ops++
+		if now := m.Clock(); now >= next {
+			if err := app.Tick(m, now); err != nil {
+				log.Fatal(err)
+			}
+			if err := engine.Tick(m, now); err != nil {
+				log.Fatal(err)
+			}
+			next += params.SamplePeriodNs
+		}
+	}
+	fp2 := engine.Footprint(m)
+	fmt.Printf("phase 2 (10%% target): %.0f ops/s, cold %4.0f%% of %d MB\n",
+		float64(ops)*1e9/float64(m.Clock()-start), fp2.ColdFraction()*100, fp2.Total()>>20)
+
+	st := engine.Stats()
+	fmt.Printf("\nlifetime: %d pages sampled, %d demotions, %d corrections\n",
+		st.Sampled, st.Demotions, st.Promotions)
+	fmt.Println("\nLINEITEM-style history data is what moved: it is large, contiguous and")
+	fmt.Println("nearly unread, so its estimated access rate sorts to the bottom of every")
+	fmt.Println("sampling period. Raising the knob adds lukewarm order-history pages until")
+	fmt.Println("the cold fraction saturates — everything left is genuinely hot.")
+}

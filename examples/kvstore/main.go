@@ -1,0 +1,91 @@
+// kvstore: build a custom key-value store workload against the public API —
+// a skewed-popularity store with an expiry scanner, the access pattern that
+// defeats naive Accessed-bit placement — and compare three policies:
+// all-DRAM, naive idle-demote, and Thermostat.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermostat"
+)
+
+// store is a hand-rolled thermostat.App: a key-value store whose values
+// live in a big hash-table arena. 95% of lookups hit a Zipfian-popular key
+// set; a background expiry scanner cycles through the entire arena.
+type store struct {
+	spec thermostat.WorkloadSpec
+	app  *thermostat.Workload
+}
+
+func newStore() *store {
+	// Compose the workload from the library's segment vocabulary.
+	spec := thermostat.WorkloadSpec{
+		Name:      "kvstore",
+		ComputeNs: 2000,
+		Segments: []thermostat.Segment{
+			{Name: "arena", Bytes: 1 << 30, Weight: 0.95, Picker: &thermostat.ZipfPicker{}, WriteFrac: 0.2},
+			{Name: "expiry", Bytes: 3 << 30, Weight: 0.05, Picker: &thermostat.SweepPicker{Dwell: 16}},
+		},
+	}
+	return &store{spec: spec}
+}
+
+func main() {
+	const fast, slow = 6 << 30 / 16, 5 << 30 / 16
+
+	runUnder := func(policy thermostat.Policy) *thermostat.RunResult {
+		cfg := thermostat.DefaultMachineConfig(fast, slow)
+		cfg.TLB.L1Entries, cfg.TLB.L2Entries = 4, 32
+		cfg.LLC.SizeBytes = 4 << 20
+		m, err := thermostat.NewMachine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := newStore()
+		app, err := thermostat.NewWorkload(s.spec, 16, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := thermostat.Run(m, app, policy, thermostat.RunConfig{
+			DurationNs: 25e9,
+			WarmupNs:   5e9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	params := thermostat.DefaultParams()
+	params.SamplePeriodNs = 1e9
+	engine, err := thermostat.NewEngine(params, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseline := runUnder(thermostat.NullPolicy{Interval: 1e9})
+	naive := runUnder(&thermostat.IdleDemote{Interval: 25e8, IdleScans: 4})
+	managed := runUnder(engine)
+
+	fmt.Println("policy        throughput    slowdown   cold")
+	show := func(name string, r *thermostat.RunResult) {
+		fmt.Printf("%-12s  %9.0f/s   %6.2f%%   %4.0f%%\n",
+			name, r.Throughput,
+			thermostat.Slowdown(baseline, r)*100,
+			r.FinalFootprint.ColdFraction()*100)
+	}
+	show("all-dram", baseline)
+	show("idle-demote", naive)
+	show("thermostat", managed)
+	fmt.Println()
+	fmt.Println("The expiry scanner revisits every page within the idle window, so to an")
+	fmt.Println("Accessed-bit scan nothing ever looks idle: idle-demote strands everything")
+	fmt.Println("in DRAM (and with a longer window it would demote pages the scanner is")
+	fmt.Println("about to revisit at full speed). Thermostat instead measures per-page")
+	fmt.Println("rates, sees that the sweep's traffic is thinly spread, and safely moves")
+	fmt.Println("half the footprint while keeping the slowdown near the 3% target.")
+}

@@ -1,0 +1,72 @@
+// Quickstart: run the paper's Redis model under Thermostat with a 3%
+// tolerable slowdown, then compare against an all-DRAM baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermostat"
+)
+
+func main() {
+	// The Redis model's full footprint is 17.2GB (Table 2); divide by 64
+	// so the demo runs in seconds. Tier capacities leave headroom.
+	const scale = 64
+	const footprint = uint64(18<<30) / scale
+
+	run := func(policy thermostat.Policy) *thermostat.RunResult {
+		cfg := thermostat.DefaultMachineConfig(footprint+64<<20, footprint)
+		// Scale the TLB and LLC with the footprint so translation reach
+		// stays proportional (see DESIGN.md on scaling).
+		cfg.TLB.L1Entries, cfg.TLB.L2Entries = 2, 16
+		cfg.LLC.SizeBytes = (45 << 20) / scale
+		m, err := thermostat.NewMachine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		app, err := thermostat.NewWorkload(thermostat.Redis(), scale, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := thermostat.Run(m, app, policy, thermostat.RunConfig{
+			DurationNs: 20e9, // 20 simulated seconds
+			WarmupNs:   4e9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	// Thermostat's single input: the tolerable slowdown. Compress the 30s
+	// scan interval to 1s so the short demo completes several sampling
+	// periods.
+	params := thermostat.DefaultParams()
+	params.TolerableSlowdownPct = 3
+	params.SamplePeriodNs = 1e9
+	engine, err := thermostat.NewEngine(params, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseline := run(thermostat.NullPolicy{Interval: 1e9})
+	managed := run(engine)
+
+	fp := managed.FinalFootprint
+	fmt.Printf("application:        redis (hotspot: 0.01%% of keys take 90%% of traffic)\n")
+	fmt.Printf("baseline:           %.0f ops/s, all %d MB in DRAM\n",
+		baseline.Throughput, baseline.FinalFootprint.Total()>>20)
+	fmt.Printf("thermostat:         %.0f ops/s\n", managed.Throughput)
+	fmt.Printf("measured slowdown:  %.2f%% (target 3%%)\n",
+		thermostat.Slowdown(baseline, managed)*100)
+	fmt.Printf("cold data found:    %d MB (%.0f%% of footprint) now in slow memory\n",
+		fp.Cold()>>20, fp.ColdFraction()*100)
+	fmt.Printf("  as 2MB pages:     %d MB\n", fp.Cold2M>>20)
+	fmt.Printf("  as split 4KB:     %d MB (pages mid-sampling when demoted)\n", fp.Cold4K>>20)
+	st := engine.Stats()
+	fmt.Printf("engine:             %d pages sampled, %d demotions, %d corrections\n",
+		st.Sampled, st.Demotions, st.Promotions)
+}

@@ -1,0 +1,156 @@
+// Package cache models a set-associative last-level cache over physical
+// addresses. The simulator uses it for two things: charging realistic memory
+// latency only on misses, and providing the ground-truth per-page memory
+// access rate (LLC misses per page) that Figure 2 plots against
+// Accessed-bit-derived estimates.
+package cache
+
+import (
+	"fmt"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/stats"
+)
+
+// Config sizes the cache.
+type Config struct {
+	// SizeBytes is total capacity (default 45MB, the testbed's per-socket
+	// LLC).
+	SizeBytes uint64
+	// LineSize is the cache-line size in bytes (default 64).
+	LineSize uint64
+	// Ways is the associativity (default 16).
+	Ways int
+}
+
+// DefaultConfig matches the paper's Xeon E5-2699 v3 (45MB LLC).
+func DefaultConfig() Config {
+	return Config{SizeBytes: 45 << 20, LineSize: 64, Ways: 16}
+}
+
+// Cache is a set-associative LRU cache of physical line addresses.
+type Cache struct {
+	lineShift uint
+	nSets     uint64
+	ways      int
+	// tags[set*ways : (set+1)*ways] holds line tags, most recent first;
+	// valid[i] marks live entries.
+	tags  []uint64
+	valid []bool
+
+	hits   stats.Counter
+	misses stats.Counter
+}
+
+// New builds a cache from cfg, applying defaults for zero fields. Panics if
+// the geometry is degenerate (fewer than one set).
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes == 0 {
+		cfg.SizeBytes = DefaultConfig().SizeBytes
+	}
+	if cfg.LineSize == 0 {
+		cfg.LineSize = 64
+	}
+	if cfg.Ways <= 0 {
+		cfg.Ways = 16
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d not a power of two", cfg.LineSize))
+	}
+	nSets := cfg.SizeBytes / cfg.LineSize / uint64(cfg.Ways)
+	if nSets == 0 {
+		panic(fmt.Sprintf("cache: config %+v yields zero sets", cfg))
+	}
+	shift := uint(0)
+	for l := cfg.LineSize; l > 1; l >>= 1 {
+		shift++
+	}
+	return &Cache{
+		lineShift: shift,
+		nSets:     nSets,
+		ways:      cfg.Ways,
+		tags:      make([]uint64, nSets*uint64(cfg.Ways)),
+		valid:     make([]bool, nSets*uint64(cfg.Ways)),
+	}
+}
+
+// Access looks up the line containing p, inserting it on a miss. Returns
+// true on a hit.
+func (c *Cache) Access(p addr.Phys) bool {
+	line := uint64(p) >> c.lineShift
+	set := line % c.nSets
+	base := int(set) * c.ways
+	// Search the set.
+	for i := 0; i < c.ways; i++ {
+		if c.valid[base+i] && c.tags[base+i] == line {
+			// Move to front (LRU position 0).
+			for j := i; j > 0; j-- {
+				c.tags[base+j] = c.tags[base+j-1]
+				c.valid[base+j] = c.valid[base+j-1]
+			}
+			c.tags[base] = line
+			c.valid[base] = true
+			c.hits.Inc()
+			return true
+		}
+	}
+	// Miss: evict LRU (last way), shift, insert at front.
+	for j := c.ways - 1; j > 0; j-- {
+		c.tags[base+j] = c.tags[base+j-1]
+		c.valid[base+j] = c.valid[base+j-1]
+	}
+	c.tags[base] = line
+	c.valid[base] = true
+	c.misses.Inc()
+	return false
+}
+
+// Contains reports whether the line holding p is cached, without updating
+// LRU state or counters.
+func (c *Cache) Contains(p addr.Phys) bool {
+	line := uint64(p) >> c.lineShift
+	set := line % c.nSets
+	base := int(set) * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.valid[base+i] && c.tags[base+i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Stats reports hit/miss counts.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Accesses returns total lookups.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns misses/accesses (0 if none).
+func (s Stats) MissRate() float64 {
+	n := s.Accesses()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(n)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits.Value(), Misses: c.misses.Value()}
+}
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() {
+	c.hits.Reset()
+	c.misses.Reset()
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/cgroup"
+	"thermostat/internal/kstaled"
+	"thermostat/internal/mem"
+	"thermostat/internal/pagetable"
+	"thermostat/internal/rng"
+	"thermostat/internal/sim"
+	"thermostat/internal/stats"
+)
+
+// Modeled daemon CPU costs (charged off the application critical path, as
+// the paper's kthread runs on spare cores).
+const (
+	splitCostNs    = 2000
+	collapseCostNs = 2000
+	poisonCostNs   = 500
+	perLeafScanNs  = kstaled.DefaultEntryCostNs
+)
+
+// sample tracks one huge page through a sampling cycle.
+type sample struct {
+	base      addr.Virt
+	wasCold   bool
+	nAccessed int
+	poisoned  []addr.Virt
+}
+
+// Stats are the engine's lifetime counters.
+type Stats struct {
+	// Periods is the number of completed sampling cycles.
+	Periods uint64
+	// Sampled is the number of huge pages profiled.
+	Sampled uint64
+	// Demotions and Promotions are page movements; promotions are the
+	// §3.5 corrections (mis-classifications or working-set changes).
+	Demotions  uint64
+	Promotions uint64
+	// DemoteFailures counts demotions abandoned because the slow tier
+	// was full.
+	DemoteFailures uint64
+}
+
+// Engine is the Thermostat policy. It implements sim.Policy.
+type Engine struct {
+	group *cgroup.Group
+	r     *rng.PCG
+	m     *sim.Machine
+
+	// The sampling cycle is pipelined (Figure 4's three scans overlap
+	// across cohorts): every tick classifies the cohort poisoned last
+	// tick, poisons the cohort split last tick, and splits a fresh 5%
+	// cohort — so a full sample fraction completes every scan interval.
+	splitCohort    map[addr.Virt]*sample
+	poisonedCohort map[addr.Virt]*sample
+	cold           map[addr.Virt]bool
+	lastTick       int64
+
+	// seen holds per-page fault-count snapshots so the engine consumes
+	// count *deltas* instead of resetting the shared trap — multiple
+	// engines (one per cgroup) can then coexist on one machine.
+	seen map[addr.Virt]uint64
+
+	// scope, when set, restricts sampling and footprint accounting to the
+	// returned address ranges (the engine's cgroup's memory). Nil means
+	// the whole address space.
+	scope func() []addr.Range
+
+	lastEstimates []Estimate
+
+	// Ablation switches (default on): the §3.2 Accessed-bit pre-filter
+	// and the §3.5 mis-classification corrector.
+	noPrefilter  bool
+	noCorrection bool
+
+	periods        stats.Counter
+	sampled        stats.Counter
+	demotions      stats.Counter
+	promotions     stats.Counter
+	demoteFailures stats.Counter
+}
+
+// NewEngine builds a Thermostat engine drawing parameters from group and
+// randomness from seed.
+func NewEngine(group *cgroup.Group, seed uint64) *Engine {
+	return &Engine{
+		group:          group,
+		r:              rng.New(seed),
+		splitCohort:    make(map[addr.Virt]*sample),
+		poisonedCohort: make(map[addr.Virt]*sample),
+		cold:           make(map[addr.Virt]bool),
+		seen:           make(map[addr.Virt]uint64),
+	}
+}
+
+// SetPrefilter enables or disables the §3.2 two-step refinement: with the
+// pre-filter off, the sampler poisons K uniformly random children instead
+// of K random *accessed* children and scales estimates by the full 512 —
+// the naive strategy the paper rejects because sparse hot children are
+// easily missed. For ablation studies.
+func (e *Engine) SetPrefilter(on bool) { e.noPrefilter = !on }
+
+// SetCorrection enables or disables the §3.5 corrector. For ablation
+// studies: without it, mis-classified pages stay in slow memory until
+// resampled, and slowdown is unbounded under working-set changes.
+func (e *Engine) SetCorrection(on bool) { e.noCorrection = !on }
+
+// SetScope restricts the engine to the address ranges returned by provider
+// — its cgroup's memory — so several engines can manage disjoint tenants on
+// one machine. The provider is consulted at every scan (ranges may grow).
+func (e *Engine) SetScope(provider func() []addr.Range) { e.scope = provider }
+
+// inScope reports whether a page base falls in the engine's scope.
+func (e *Engine) inScope(base addr.Virt, ranges []addr.Range) bool {
+	if ranges == nil {
+		return true
+	}
+	for _, r := range ranges {
+		if r.Contains(base) {
+			return true
+		}
+	}
+	return false
+}
+
+// scopeRanges returns the current scope (nil = everything).
+func (e *Engine) scopeRanges() []addr.Range {
+	if e.scope == nil {
+		return nil
+	}
+	return e.scope()
+}
+
+// delta returns the page's fault-count increase since this engine last
+// looked, without disturbing the shared trap state.
+func (e *Engine) delta(base addr.Virt) uint64 {
+	c := e.m.Trap().Count(base)
+	d := c - e.seen[base]
+	e.seen[base] = c
+	return d
+}
+
+// snapshot records the page's current count as already-consumed, so the
+// next delta covers only events from now on.
+func (e *Engine) snapshot(base addr.Virt) {
+	e.seen[base] = e.m.Trap().Count(base)
+}
+
+// Name implements sim.Policy.
+func (e *Engine) Name() string { return "thermostat" }
+
+// IntervalNs implements sim.Policy: one tick per scan interval.
+func (e *Engine) IntervalNs() int64 { return e.group.Params().SamplePeriodNs }
+
+// Attach implements sim.Policy.
+func (e *Engine) Attach(m *sim.Machine) error {
+	e.m = m
+	e.lastTick = m.Clock()
+	return nil
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Periods:        e.periods.Value(),
+		Sampled:        e.sampled.Value(),
+		Demotions:      e.demotions.Value(),
+		Promotions:     e.promotions.Value(),
+		DemoteFailures: e.demoteFailures.Value(),
+	}
+}
+
+// ColdPages returns the number of huge pages currently placed in slow
+// memory by the engine.
+func (e *Engine) ColdPages() int { return len(e.cold) }
+
+// InflightPages returns the number of huge pages currently split for
+// sampling (both pipeline cohorts).
+func (e *Engine) InflightPages() int { return len(e.splitCohort) + len(e.poisonedCohort) }
+
+// LastEstimates returns the rate estimates from the most recent classify
+// scan (for inspection and the Figure 2 style analyses).
+func (e *Engine) LastEstimates() []Estimate {
+	return append([]Estimate(nil), e.lastEstimates...)
+}
+
+// Tick implements sim.Policy: runs the corrector, then the current scan
+// phase of the sampling cycle.
+func (e *Engine) Tick(m *sim.Machine, now int64) error {
+	if m != e.m {
+		return fmt.Errorf("core: engine ticked on a different machine")
+	}
+	interval := float64(now-e.lastTick) / 1e9
+	if interval <= 0 {
+		interval = float64(e.group.Params().SamplePeriodNs) / 1e9
+	}
+
+	if err := e.correct(interval); err != nil {
+		return err
+	}
+	// Pipeline order: consume this interval's fault counts (classify),
+	// then arm poisons for the next interval, then split a fresh cohort
+	// whose Accessed bits accumulate over the next interval.
+	if err := e.scanClassify(interval); err != nil {
+		return err
+	}
+	if err := e.scanPoison(); err != nil {
+		return err
+	}
+	if err := e.scanSplit(); err != nil {
+		return err
+	}
+	e.periods.Inc()
+	e.lastTick = now
+	return nil
+}
+
+// correct implements §3.5: measure every (non-inflight) cold page's access
+// rate from its poison-fault count and promote the hottest pages until the
+// aggregate is back under the target rate.
+func (e *Engine) correct(intervalSec float64) error {
+	if e.noCorrection || len(e.cold) == 0 {
+		return nil
+	}
+	measured := make([]Measured, 0, len(e.cold))
+	for base := range e.cold {
+		if e.inflight(base) {
+			continue // being re-sampled; counted at classify
+		}
+		measured = append(measured, Measured{
+			Base: base,
+			Rate: float64(e.delta(base)) / intervalSec,
+		})
+	}
+	// Canonical order so equal-rate ties break deterministically (map
+	// iteration order must not leak into placement decisions).
+	sort.Slice(measured, func(i, j int) bool { return measured[i].Base < measured[j].Base })
+	target := e.group.Params().TargetSlowAccessRate()
+	for _, base := range SelectPromotions(measured, target) {
+		if err := e.promote(base); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promote moves a cold huge page back to fast memory and stops monitoring
+// it.
+func (e *Engine) promote(base addr.Virt) error {
+	if _, err := e.m.Promote(base); err != nil {
+		return err
+	}
+	delete(e.cold, base)
+	e.promotions.Inc()
+	return nil
+}
+
+// inflight reports whether base is in either sampling cohort.
+func (e *Engine) inflight(base addr.Virt) bool {
+	if _, ok := e.splitCohort[base]; ok {
+		return true
+	}
+	_, ok := e.poisonedCohort[base]
+	return ok
+}
+
+// scanSplit selects a random sampleFraction of all huge pages — hot or cold,
+// the sampler is agnostic (§3.2) — and splits them so their 4KB children can
+// be profiled individually. Pages already mid-pipeline are excluded.
+func (e *Engine) scanSplit() error {
+	pt := e.m.PageTable()
+	ranges := e.scopeRanges()
+	var candidates []addr.Virt
+	pt.Scan(func(base addr.Virt, entry *pagetable.Entry, lvl pagetable.Level) {
+		if lvl == pagetable.Level2M && !e.inflight(base) && e.inScope(base, ranges) {
+			candidates = append(candidates, base)
+		}
+	})
+	var daemon int64 = int64(len(candidates)) * perLeafScanNs
+	if len(candidates) == 0 {
+		e.m.ChargeDaemon(daemon)
+		return nil
+	}
+	f := e.group.Params().SampleFraction
+	n := int(f * float64(len(candidates)))
+	if n < 1 {
+		n = 1
+	}
+	for _, idx := range e.r.Sample(len(candidates), n) {
+		base := candidates[idx]
+		if err := pt.Split(base); err != nil {
+			return fmt.Errorf("core: split %s: %w", base, err)
+		}
+		// Splitting replaced the 2MB translation with 4KB ones; drop the
+		// stale huge-grain TLB entry.
+		e.m.TLB().Invalidate(base, e.m.VPID())
+		e.splitCohort[base] = &sample{base: base, wasCold: e.cold[base]}
+		e.sampled.Inc()
+		daemon += splitCostNs
+	}
+	e.m.ChargeDaemon(daemon)
+	return nil
+}
+
+// scanPoison runs the §3.2 two-step refinement for each sampled page: read
+// the hardware-maintained Accessed bits of all 512 children to find those
+// with non-zero access rate, then poison a random subset of at most K of
+// them for precise fault-based counting.
+//
+// Pages that were already cold need no subset selection: their children
+// inherited the poison bit from the cold page's PMD at split time, so every
+// access is already being counted.
+func (e *Engine) scanPoison() error {
+	trap := e.m.Trap()
+	k := e.group.Params().MaxPoisonPerHuge
+	var daemon int64
+	for _, s := range e.splitCohort {
+		daemon += int64(addr.PagesPerHuge) * perLeafScanNs
+		if s.wasCold {
+			s.nAccessed = addr.PagesPerHuge
+			s.poisoned = nil // estimate uses the whole-region fault count
+			// Counting starts now: absorb events from the split interval.
+			for i := 0; i < addr.PagesPerHuge; i++ {
+				e.snapshot(s.base + addr.Virt(uint64(i)*addr.PageSize4K))
+			}
+			continue
+		}
+		var accessed []int
+		if e.noPrefilter {
+			// Naive strategy (ablation): all children are candidates and
+			// the estimate scales by the full 512.
+			accessed = make([]int, addr.PagesPerHuge)
+			for i := range accessed {
+				accessed[i] = i
+			}
+		} else {
+			accessed = kstaled.AccessedSubpages(e.m.PageTable(), s.base)
+		}
+		s.nAccessed = len(accessed)
+		if s.nAccessed == 0 {
+			continue
+		}
+		nPoison := k
+		if nPoison > s.nAccessed {
+			nPoison = s.nAccessed
+		}
+		for _, pick := range e.r.Sample(s.nAccessed, nPoison) {
+			child := s.base + addr.Virt(uint64(accessed[pick])*addr.PageSize4K)
+			if err := trap.Poison(child, e.m.VPID()); err != nil {
+				return err
+			}
+			e.snapshot(child)
+			s.poisoned = append(s.poisoned, child)
+			daemon += poisonCostNs
+		}
+	}
+	// Advance the cohort down the pipeline.
+	for base, s := range e.splitCohort {
+		e.poisonedCohort[base] = s
+	}
+	e.splitCohort = make(map[addr.Virt]*sample)
+	e.m.ChargeDaemon(daemon)
+	return nil
+}
+
+// scanClassify estimates each sampled page's access rate, places the coldest
+// sampled pages into slow memory under the fraction-scaled budget (§3.4),
+// and restores every sampled page to a huge mapping.
+func (e *Engine) scanClassify(intervalSec float64) error {
+	p := e.group.Params()
+
+	var fastEsts []Estimate
+	var daemon int64
+	for _, s := range e.poisonedCohort {
+		var rate float64
+		if s.wasCold {
+			// Whole region was poisoned: total faults are the estimate.
+			var faults uint64
+			for i := 0; i < addr.PagesPerHuge; i++ {
+				faults += e.delta(s.base + addr.Virt(uint64(i)*addr.PageSize4K))
+			}
+			rate = float64(faults) / intervalSec
+		} else {
+			var faults uint64
+			for _, child := range s.poisoned {
+				faults += e.delta(child)
+			}
+			rate = ScaleEstimate(faults, intervalSec, s.nAccessed, len(s.poisoned))
+			fastEsts = append(fastEsts, Estimate{Base: s.base, Rate: rate})
+		}
+		daemon += int64(addr.PagesPerHuge) * perLeafScanNs
+	}
+	sort.Slice(fastEsts, func(i, j int) bool { return fastEsts[i].Base < fastEsts[j].Base })
+	e.lastEstimates = fastEsts
+
+	// Restore all sampled pages to huge mappings.
+	for _, s := range e.poisonedCohort {
+		if err := e.restore(s); err != nil {
+			return err
+		}
+		daemon += collapseCostNs
+	}
+
+	// Demote the coldest of this period's fast-tier samples.
+	budget := p.SampleFraction * p.TargetSlowAccessRate()
+	for _, base := range SelectColdSet(fastEsts, budget) {
+		if err := e.demote(base); err != nil {
+			return err
+		}
+	}
+	e.poisonedCohort = make(map[addr.Virt]*sample)
+	e.m.ChargeDaemon(daemon)
+	return nil
+}
+
+// restore collapses a sampled page back to a 2MB mapping, clearing child
+// poisons first and re-arming PMD-grain monitoring if the page is cold.
+func (e *Engine) restore(s *sample) error {
+	pt := e.m.PageTable()
+	for i := 0; i < addr.PagesPerHuge; i++ {
+		child := s.base + addr.Virt(uint64(i)*addr.PageSize4K)
+		ce, _, ok := pt.Lookup(child)
+		if !ok {
+			return fmt.Errorf("core: sampled child %s vanished", child)
+		}
+		if ce.Flags.Has(pagetable.Poisoned) {
+			pt.ClearFlags(child, pagetable.Poisoned)
+		}
+	}
+	if err := pt.Collapse(s.base); err != nil {
+		return fmt.Errorf("core: collapse %s: %w", s.base, err)
+	}
+	e.m.TLB().Invalidate(s.base, e.m.VPID())
+	if e.cold[s.base] {
+		if err := e.m.Trap().Poison(s.base, e.m.VPID()); err != nil {
+			return err
+		}
+		e.snapshot(s.base)
+	}
+	return nil
+}
+
+// demote moves a classified-cold huge page to slow memory; the machine arms
+// PMD-grain monitoring (which doubles as the slow-memory emulation).
+func (e *Engine) demote(base addr.Virt) error {
+	if _, err := e.m.Demote(base); err != nil {
+		if errors.Is(err, mem.ErrOutOfMemory) {
+			e.demoteFailures.Inc()
+			return nil
+		}
+		return err
+	}
+	e.snapshot(base)
+	e.cold[base] = true
+	e.demotions.Inc()
+	return nil
+}
+
+// Footprint implements sim.Policy: classify every mapped leaf by backing
+// tier and grain.
+func (e *Engine) Footprint(m *sim.Machine) sim.Footprint {
+	return sim.ScanFootprint(m, e.scopeRanges())
+}

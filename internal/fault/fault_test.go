@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"thermostat/internal/addr"
+)
+
+func TestKindString(t *testing.T) {
+	if NotPresent.String() != "not-present" || Poison.String() != "poison" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(42).String() != "kind42" {
+		t.Fatal("unknown kind name wrong")
+	}
+}
+
+func TestRegistryDispatch(t *testing.T) {
+	r := NewRegistry()
+	called := 0
+	r.Register(Poison, HandlerFunc(func(f Fault) (int64, error) {
+		called++
+		if f.Virt != addr.Virt4K(7) || !f.Write {
+			t.Errorf("fault fields lost: %+v", f)
+		}
+		return 123, nil
+	}))
+	lat, err := r.Dispatch(Fault{Kind: Poison, Virt: addr.Virt4K(7), Write: true})
+	if err != nil || lat != 123 || called != 1 {
+		t.Fatalf("dispatch: lat=%d err=%v called=%d", lat, err, called)
+	}
+}
+
+func TestRegistryUnhandled(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Dispatch(Fault{Kind: NotPresent}); err == nil {
+		t.Fatal("unhandled kind should error")
+	}
+}
+
+func TestRegistryReplace(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Poison, HandlerFunc(func(Fault) (int64, error) { return 1, nil }))
+	r.Register(Poison, HandlerFunc(func(Fault) (int64, error) { return 2, nil }))
+	lat, _ := r.Dispatch(Fault{Kind: Poison})
+	if lat != 2 {
+		t.Fatalf("replacement not effective: %d", lat)
+	}
+}
+
+func TestHandlerError(t *testing.T) {
+	r := NewRegistry()
+	sentinel := errors.New("boom")
+	r.Register(NotPresent, HandlerFunc(func(Fault) (int64, error) { return 0, sentinel }))
+	if _, err := r.Dispatch(Fault{Kind: NotPresent}); !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}

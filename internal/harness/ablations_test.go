@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"testing"
+
+	"thermostat/internal/workload"
+)
+
+func ablationOpt() Options {
+	sc := Tiny()
+	sc.DurationNs = 5e9
+	sc.WarmupNs = 1e9
+	return Options{Scale: sc}
+}
+
+func TestAblationPoisonBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	rows, tbl, err := AblationPoisonBudget(workload.MySQLTPCC(), ablationOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if tbl.String() == "" {
+		t.Fatal("empty table")
+	}
+	// More poisons cost more faults (monotone in K, allowing noise at the
+	// extremes: compare the smallest and largest budgets).
+	if rows[0].PoisonFaults >= rows[3].PoisonFaults {
+		t.Errorf("faults not increasing with K: %d (K=10) vs %d (K=100)",
+			rows[0].PoisonFaults, rows[3].PoisonFaults)
+	}
+	for _, r := range rows {
+		if r.ColdFraction <= 0 {
+			t.Errorf("%s: no cold data found", r.Config)
+		}
+	}
+}
+
+func TestAblationCorrection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	opt := ablationOpt()
+	opt.Scale.DurationNs = 9e9
+	rows, _, err := AblationCorrection(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	on, off := rows[0], rows[1]
+	if on.Promotions == 0 {
+		t.Error("corrector made no promotions under rotation")
+	}
+	if off.Promotions != 0 {
+		t.Error("disabled corrector still promoted")
+	}
+	// Without correction, newly-hot pages stay in slow memory: slowdown
+	// must be clearly worse.
+	if off.Slowdown <= on.Slowdown {
+		t.Errorf("correction off (%.3f) not worse than on (%.3f)",
+			off.Slowdown, on.Slowdown)
+	}
+}
+
+func TestAblationTrapPlacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	rows, _, err := AblationTrapPlacement(workload.MySQLTPCC(), ablationOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	guest, host := rows[0], rows[1]
+	// Host-side trapping charges a vmexit per fault: overhead must rise.
+	if host.Slowdown < guest.Slowdown {
+		t.Errorf("host trap (%.4f) cheaper than guest trap (%.4f)",
+			host.Slowdown, guest.Slowdown)
+	}
+}
+
+func TestAblationCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	opt := ablationOpt()
+	rows, tbl, err := AblationCounters(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]CounterRow{}
+	for _, r := range rows {
+		byName[r.Backend] = r
+	}
+	// §6.1: the CM bit counts true LLC misses — it must be the most
+	// accurate mechanism.
+	cm := byName["cm-bit"]
+	bt := byName["badgertrap"]
+	if cm.MeanRelErr > bt.MeanRelErr {
+		t.Errorf("CM-bit error %.3f worse than BadgerTrap %.3f",
+			cm.MeanRelErr, bt.MeanRelErr)
+	}
+	if cm.MeanRelErr > 0.05 {
+		t.Errorf("CM-bit should be near-exact, got %.3f", cm.MeanRelErr)
+	}
+	if tbl.String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestCompareBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	opt := ablationOpt()
+	rows, tbl, err := CompareBaselines(workload.MySQLTPCC(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]BaselineRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	pg := byName["profile-guided (X-Mem-like)"]
+	th := byName["thermostat"]
+	if pg.ColdFraction == 0 {
+		t.Error("profile-guided placed nothing")
+	}
+	if th.ColdFraction == 0 {
+		t.Error("thermostat placed nothing")
+	}
+	if tbl.String() == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,264 @@
+// Package harness assembles scaled, reproducible experiments: it builds
+// machines whose TLB/LLC reach scales with the footprint divisor, applies
+// the time-dilation transform that keeps classification fractions and
+// slowdowns invariant while shrinking simulated access counts, and provides
+// the runners each table and figure regeneration uses.
+//
+// Scaling model (see DESIGN.md): with footprint divisor D and time dilation
+// F, footprints, TLB entries and LLC capacity divide by D (preserving the
+// footprint:reach ratio that drives TLB-miss behaviour), while slow-memory
+// latency multiplies by F and per-op compute multiplies by F (preserving
+// slowdown percentages and the cold-set budget fractions: the target rate
+// x/(100·ts) divides by F exactly as the workload's absolute access rates
+// do). Reported rates convert back to paper units by multiplying by F.
+package harness
+
+import (
+	"fmt"
+
+	"thermostat/internal/cgroup"
+	"thermostat/internal/core"
+	"thermostat/internal/sim"
+	"thermostat/internal/workload"
+)
+
+// Scale fixes the size/time transform and run schedule for an experiment.
+type Scale struct {
+	// Name labels the profile in reports.
+	Name string
+	// Div divides footprints, TLB entries, and LLC capacity.
+	Div uint64
+	// TimeDilate is F: multiplies slow-memory latency and per-op compute.
+	TimeDilate int64
+	// PeriodNs is the (compressed) scan interval.
+	PeriodNs int64
+	// DurationNs and WarmupNs schedule each run.
+	DurationNs int64
+	WarmupNs   int64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Validate rejects degenerate profiles.
+func (s Scale) Validate() error {
+	if s.Div == 0 || s.TimeDilate <= 0 || s.PeriodNs <= 0 || s.DurationNs <= 0 {
+		return fmt.Errorf("harness: invalid scale %+v", s)
+	}
+	if s.WarmupNs < 0 || s.WarmupNs >= s.DurationNs {
+		return fmt.Errorf("harness: warmup %d outside run %d", s.WarmupNs, s.DurationNs)
+	}
+	return nil
+}
+
+// Repro is the full-fidelity profile cmd/repro uses: 1/16 footprints, 4x
+// time dilation, 2s scan intervals over a 100s run (the equivalent of a 30s
+// interval over a 1500s run at paper scale).
+func Repro() Scale {
+	return Scale{
+		Name: "repro", Div: 16, TimeDilate: 4,
+		PeriodNs: 2e9, DurationNs: 100e9, WarmupNs: 20e9, Seed: 1,
+	}
+}
+
+// Bench is the profile bench_test.go uses: smaller, faster, same shapes.
+func Bench() Scale {
+	return Scale{
+		Name: "bench", Div: 64, TimeDilate: 8,
+		PeriodNs: 1e9, DurationNs: 30e9, WarmupNs: 6e9, Seed: 1,
+	}
+}
+
+// Tiny is the unit-test profile.
+func Tiny() Scale {
+	return Scale{
+		Name: "tiny", Div: 256, TimeDilate: 8,
+		PeriodNs: 400e6, DurationNs: 8e9, WarmupNs: 2e9, Seed: 1,
+	}
+}
+
+// PaperRate converts a measured rate (per second of dilated time) back to
+// paper units.
+func (s Scale) PaperRate(measured float64) float64 {
+	return measured * float64(s.TimeDilate)
+}
+
+// PeriodCompression is the ratio between the paper's 30s scan interval and
+// this profile's, used to convert migration bandwidths to paper units.
+func (s Scale) PeriodCompression() float64 {
+	return 30e9 / float64(s.PeriodNs)
+}
+
+// MachineConfig builds a machine sized for the spec's footprint under this
+// scale. fourKHost selects 4KB host mappings (the THP-off configuration).
+func (s Scale) MachineConfig(spec workload.Spec, hugeHost bool) sim.Config {
+	var footprint uint64
+	for _, seg := range spec.Segments {
+		footprint += seg.Bytes
+	}
+	if g := spec.Growth; g != nil {
+		footprint += g.ChunkBytes * uint64(g.MaxChunks)
+	}
+	footprint /= s.Div
+	// Headroom for rounding each segment up to a huge page.
+	headroom := uint64(len(spec.Segments)+8) * (2 << 20)
+	fast := footprint + footprint/4 + headroom
+	slow := footprint + headroom
+
+	cfg := sim.DefaultConfig(fast, slow)
+	cfg.TLB.L1Entries = intMax(2, int(64/s.Div))
+	cfg.TLB.L2Entries = intMax(8, int(1024/s.Div))
+	cfg.LLC.SizeBytes = maxU64(1<<20, (45<<20)/s.Div)
+	cfg.FaultLatencyNs = 1000 * s.TimeDilate
+	cfg.SlowSpec.ReadLatency = 1000 * s.TimeDilate
+	cfg.SlowSpec.WriteLatency = 1000 * s.TimeDilate
+	cfg.VM.HostHugePages = hugeHost
+	return cfg
+}
+
+func intMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NewApp instantiates spec under this scale: footprint divided, compute
+// dilated, growth periods compressed like the scan interval.
+func (s Scale) NewApp(spec workload.Spec, seed uint64) (*workload.App, error) {
+	spec.ComputeNs *= s.TimeDilate
+	if spec.Growth != nil {
+		g := *spec.Growth
+		g.PeriodNs = int64(float64(g.PeriodNs) / s.PeriodCompression())
+		spec.Growth = &g
+	}
+	// Rescale sweep dwells so background-revisit periods survive the
+	// footprint divisor, and dilate picker rotation periods with the
+	// workload's rates.
+	spec = spec.WithDwell(int(s.Div))
+	spec = spec.WithTimeDilation(s.TimeDilate)
+	return workload.NewApp(spec, s.Div, seed)
+}
+
+// Group builds the Thermostat cgroup for this scale and slowdown target.
+func (s Scale) Group(slowdownPct float64) (*cgroup.Group, error) {
+	p := cgroup.Default()
+	p.TolerableSlowdownPct = slowdownPct
+	p.SamplePeriodNs = s.PeriodNs
+	p.SlowMemLatencyNs = 1000 * s.TimeDilate
+	return cgroup.NewGroup("thermostat", p)
+}
+
+// Outcome bundles one policy run with everything analyses need.
+type Outcome struct {
+	Spec    workload.Spec
+	Scale   Scale
+	Machine *sim.Machine
+	App     *workload.App
+	Engine  *core.Engine // nil for non-Thermostat policies
+	Result  *sim.RunResult
+}
+
+// RunThermostat runs spec under Thermostat at the given slowdown target.
+func RunThermostat(spec workload.Spec, sc Scale, slowdownPct float64) (*Outcome, error) {
+	return RunThermostatWith(spec, sc, slowdownPct, nil, nil)
+}
+
+// RunThermostatWith is RunThermostat with hooks to mutate the machine
+// config and group parameters before the run — the ablation entry point.
+func RunThermostatWith(spec workload.Spec, sc Scale, slowdownPct float64,
+	cfgMutate func(*sim.Config), engMutate func(*cgroup.Group, *core.Engine)) (*Outcome, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := sc.MachineConfig(spec, true)
+	if cfgMutate != nil {
+		cfgMutate(&cfg)
+	}
+	m, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	app, err := sc.NewApp(spec, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g, err := sc.Group(slowdownPct)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(g, sc.Seed+0x7e)
+	if engMutate != nil {
+		engMutate(g, eng)
+	}
+	res, err := sim.Run(m, app, eng, sim.RunConfig{
+		DurationNs: sc.DurationNs, WarmupNs: sc.WarmupNs, WindowNs: sc.PeriodNs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s under thermostat: %w", spec.Name, err)
+	}
+	return &Outcome{Spec: spec, Scale: sc, Machine: m, App: app, Engine: eng, Result: res}, nil
+}
+
+// RunBaseline runs spec with everything in fast memory (all-DRAM).
+func RunBaseline(spec workload.Spec, sc Scale) (*Outcome, error) {
+	return runWithPolicy(spec, sc, sim.NullPolicy{Interval: sc.PeriodNs}, true)
+}
+
+// RunPolicy runs spec under an arbitrary policy (e.g. core.IdleDemote).
+func RunPolicy(spec workload.Spec, sc Scale, pol sim.Policy) (*Outcome, error) {
+	return runWithPolicy(spec, sc, pol, true)
+}
+
+func runWithPolicy(spec workload.Spec, sc Scale, pol sim.Policy, hugeHost bool) (*Outcome, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := sim.New(sc.MachineConfig(spec, hugeHost))
+	if err != nil {
+		return nil, err
+	}
+	app, err := sc.NewApp(spec, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(m, app, pol, sim.RunConfig{
+		DurationNs: sc.DurationNs, WarmupNs: sc.WarmupNs, WindowNs: sc.PeriodNs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s under %s: %w", spec.Name, pol.Name(), err)
+	}
+	return &Outcome{Spec: spec, Scale: sc, Machine: m, App: app, Result: res}, nil
+}
+
+// RunPageMode runs spec with no placement policy and the given page-size
+// configuration at both guest and host — the Table 1 comparison arms.
+func RunPageMode(spec workload.Spec, sc Scale, huge bool) (*Outcome, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := sim.New(sc.MachineConfig(spec, huge))
+	if err != nil {
+		return nil, err
+	}
+	app, err := sc.NewApp(spec, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if !huge {
+		app.DisableHugePages()
+	}
+	res, err := sim.Run(m, app, sim.NullPolicy{Interval: sc.PeriodNs}, sim.RunConfig{
+		DurationNs: sc.DurationNs, WarmupNs: sc.WarmupNs, WindowNs: sc.PeriodNs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s page-mode: %w", spec.Name, err)
+	}
+	return &Outcome{Spec: spec, Scale: sc, Machine: m, App: app, Result: res}, nil
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/kstaled"
+	"thermostat/internal/pagetable"
+	"thermostat/internal/sim"
+)
+
+// scanOnly is a measurement-only policy: it runs a kstaled Accessed-bit
+// scanner every interval and never moves a page. Figure 1's idle fractions
+// come from its scanner.
+type scanOnly struct {
+	interval int64
+	scanner  *kstaled.Scanner
+}
+
+func (p *scanOnly) Name() string      { return "kstaled-scan" }
+func (p *scanOnly) IntervalNs() int64 { return p.interval }
+
+func (p *scanOnly) Attach(m *sim.Machine) error {
+	if p.interval <= 0 {
+		return fmt.Errorf("harness: scanOnly needs an interval")
+	}
+	p.scanner = kstaled.New(m.PageTable(), m.TLB(), m.VPID(), 0)
+	return nil
+}
+
+func (p *scanOnly) Tick(m *sim.Machine, now int64) error {
+	res := p.scanner.Scan()
+	m.ChargeDaemon(res.CostNs)
+	return nil
+}
+
+func (p *scanOnly) Footprint(m *sim.Machine) sim.Footprint {
+	pt := m.PageTable()
+	return sim.Footprint{
+		Hot2M: uint64(pt.Count2M()) * addr.PageSize2M,
+		Hot4K: uint64(pt.Count4K()) * addr.PageSize4K,
+	}
+}
+
+// splitScan is the Figure 2 instrument: it splits every huge page at attach
+// time and scans Accessed bits each interval, tracking per-child hot
+// streaks. No pages move.
+type splitScan struct {
+	interval int64
+	scanner  *kstaled.Scanner
+	bases    []addr.Virt
+}
+
+func (p *splitScan) Name() string      { return "split-scan" }
+func (p *splitScan) IntervalNs() int64 { return p.interval }
+
+func (p *splitScan) Attach(m *sim.Machine) error {
+	if p.interval <= 0 {
+		return fmt.Errorf("harness: splitScan needs an interval")
+	}
+	pt := m.PageTable()
+	pt.Scan(func(base addr.Virt, e *pagetable.Entry, lvl pagetable.Level) {
+		if lvl == pagetable.Level2M {
+			p.bases = append(p.bases, base)
+		}
+	})
+	for _, base := range p.bases {
+		if err := pt.Split(base); err != nil {
+			return err
+		}
+		m.TLB().Invalidate(base, m.VPID())
+	}
+	p.scanner = kstaled.New(pt, m.TLB(), m.VPID(), 0)
+	return nil
+}
+
+func (p *splitScan) Tick(m *sim.Machine, now int64) error {
+	res := p.scanner.Scan()
+	m.ChargeDaemon(res.CostNs)
+	return nil
+}
+
+func (p *splitScan) Footprint(m *sim.Machine) sim.Footprint {
+	pt := m.PageTable()
+	return sim.Footprint{
+		Hot2M: uint64(pt.Count2M()) * addr.PageSize2M,
+		Hot4K: uint64(pt.Count4K()) * addr.PageSize4K,
+	}
+}

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"thermostat/internal/stats"
+)
+
+func TestTable1TableRendering(t *testing.T) {
+	rows := []Table1Row{{App: "redis", GainPct: 12.3}, {App: "web-search", GainPct: 0.4}}
+	out := Table1Table(rows).String()
+	for _, want := range []string{"Table 1", "redis", "12.300", "web-search"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2TableRendering(t *testing.T) {
+	rows := []Table2Row{{App: "cassandra", RSSGB: 8.01, FileGB: 4.02}}
+	out := Table2Table(rows).String()
+	if !strings.Contains(out, "cassandra") || !strings.Contains(out, "8.010") {
+		t.Errorf("bad render:\n%s", out)
+	}
+}
+
+func TestTable3TableRendering(t *testing.T) {
+	rows := []Table3Row{{App: "redis", MigrationMBps: 11.3, FalseClassMBps: 10}}
+	out := Table3Table(rows).String()
+	if !strings.Contains(out, "11.300") || !strings.Contains(out, "10.000") {
+		t.Errorf("bad render:\n%s", out)
+	}
+}
+
+func TestTable4TableRendering(t *testing.T) {
+	rows := []Table4Row{{App: "cassandra", SavingsPct: [3]float64{27, 30, 32}}}
+	out := Table4Table(rows).String()
+	for _, want := range []string{"27%", "30%", "32%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig11TableRendering(t *testing.T) {
+	rows := []Fig11Row{
+		{App: "mysql-tpcc", SlowdownPct: 3, ColdFraction: 0.45, Measured: 0.013},
+		{App: "mysql-tpcc", SlowdownPct: 10, ColdFraction: 0.46, Measured: 0.02},
+	}
+	out := Fig11Table(rows).String()
+	if !strings.Contains(out, "45.000") || !strings.Contains(out, "1.300") {
+		t.Errorf("bad render:\n%s", out)
+	}
+}
+
+func TestFig3TableRendering(t *testing.T) {
+	s := stats.NewSeries("slow_rate_redis")
+	s.Append(2e9, 29000)
+	series := []Fig3Series{{App: "redis", Rate: s, MeanPostWarmup: 29000, TargetRate: 30000}}
+	out := Fig3Table(series).String()
+	if !strings.Contains(out, "target 30000/s") || !strings.Contains(out, "2.9e+04") {
+		t.Errorf("bad render:\n%s", out)
+	}
+	// Empty input doesn't panic.
+	if Fig3Table(nil).String() == "" {
+		t.Error("empty Fig3 table should still render a title")
+	}
+}
+
+func TestColdDataFigureRendering(t *testing.T) {
+	mk := func(name string, v float64) *stats.Series {
+		s := stats.NewSeries(name)
+		s.Append(1e9, v)
+		return s
+	}
+	f := ColdDataFigure{
+		App: "cassandra", Slowdown: 0.02, ColdFraction: 0.45,
+		Cold2M: mk("2MB_cold_GB", 3.5), Cold4K: mk("4KB_cold_GB", 0.2),
+		Hot2M: mk("2MB_hot_GB", 4), Hot4K: mk("4KB_hot_GB", 0),
+	}
+	out := f.Table().String()
+	for _, want := range []string{"cassandra", "2.0%", "45%", "2MB_cold_GB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationTableRendering(t *testing.T) {
+	rows := []AblationRow{{Config: "K=50", ColdFraction: 0.4, Slowdown: 0.02, PoisonFaults: 123, Promotions: 4}}
+	out := ablationTable("Ablation: test", rows).String()
+	for _, want := range []string{"K=50", "40.000", "123"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package hugepaged
+
+import (
+	"testing"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/mem"
+	"thermostat/internal/rng"
+	"thermostat/internal/sim"
+)
+
+func newMachine(t *testing.T) *sim.Machine {
+	t.Helper()
+	cfg := sim.DefaultConfig(128<<20, 64<<20)
+	cfg.TLB.L1Entries, cfg.TLB.L2Entries = 2, 8
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func attach(t *testing.T, m *sim.Machine) *Daemon {
+	t.Helper()
+	d := &Daemon{Interval: 1e8, MaxCollapsesPerScan: 64}
+	if err := d.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCollapsesFull4KSpans(t *testing.T) {
+	m := newMachine(t)
+	d := attach(t, m)
+	// 8MB of native 4KB mappings: four full 2MB spans.
+	if _, err := m.AllocRegion(8<<20, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PageTable().Count4K(); got != 4*addr.PagesPerHuge {
+		t.Fatalf("setup: %d 4K leaves", got)
+	}
+	if err := d.Tick(m, 1e8); err != nil {
+		t.Fatal(err)
+	}
+	if d.Collapses() != 4 {
+		t.Fatalf("collapses = %d, want 4", d.Collapses())
+	}
+	if m.PageTable().Count2M() != 4 || m.PageTable().Count4K() != 0 {
+		t.Fatalf("post: %d/%d", m.PageTable().Count2M(), m.PageTable().Count4K())
+	}
+	// No frame leaks, no double-maps.
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Old 4KB frames were freed: used bytes equal the four huge frames.
+	if used := m.Memory().Tier(mem.Fast).Used(); used != 4*addr.PageSize2M {
+		t.Fatalf("fast tier used = %d", used)
+	}
+	// Translations still work.
+	if _, err := m.Access(addr.Virt(1)<<40+12345, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRespectsPerScanBudget(t *testing.T) {
+	m := newMachine(t)
+	d := &Daemon{Interval: 1e8, MaxCollapsesPerScan: 2}
+	if err := d.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocRegion(8<<20, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Tick(m, 1e8); err != nil {
+		t.Fatal(err)
+	}
+	if d.Collapses() != 2 {
+		t.Fatalf("collapses = %d, want 2 (budget)", d.Collapses())
+	}
+	if err := d.Tick(m, 2e8); err != nil {
+		t.Fatal(err)
+	}
+	if d.Collapses() != 4 {
+		t.Fatalf("collapses = %d, want 4 after second scan", d.Collapses())
+	}
+}
+
+func TestSkipsPartialPoisonedAndSampled(t *testing.T) {
+	m := newMachine(t)
+	d := attach(t, m)
+	// Partial span: only 1MB of 4K pages in a 2MB region.
+	if _, err := m.AllocRegion(1<<20, false); err != nil {
+		t.Fatal(err)
+	}
+	// Full span but poisoned child.
+	r2, err := m.AllocRegion(2<<20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Trap().Poison(r2.Start+4096, m.VPID()); err != nil {
+		t.Fatal(err)
+	}
+	// A split-sampled huge page must not be stolen from the sampler.
+	r3, err := m.AllocRegion(2<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PageTable().Split(r3.Start); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Tick(m, 1e8); err != nil {
+		t.Fatal(err)
+	}
+	if d.Collapses() != 0 {
+		t.Fatalf("collapses = %d, want 0", d.Collapses())
+	}
+	if d.Skipped() == 0 {
+		t.Fatal("nothing recorded as skipped")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipsWhenTierFull(t *testing.T) {
+	cfg := sim.DefaultConfig(4<<20, 0) // two huge frames only
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := attach(t, m)
+	// Fill the tier with 4K mappings: no spare 2M frame for the copy.
+	if _, err := m.AllocRegion(4<<20, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Tick(m, 1e8); err != nil {
+		t.Fatal(err)
+	}
+	if d.Collapses() != 0 {
+		t.Fatalf("collapsed without room: %d", d.Collapses())
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := newMachine(t)
+	if err := (&Daemon{}).Attach(m); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	d := &Daemon{Interval: 1e9}
+	if err := d.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxCollapsesPerScan != 8 {
+		t.Fatalf("default budget = %d", d.MaxCollapsesPerScan)
+	}
+	if d.Name() != "khugepaged" || d.IntervalNs() != 1e9 {
+		t.Fatal("identity wrong")
+	}
+}
+
+func TestStackedUnderNullPolicyRecoversTHP(t *testing.T) {
+	// An app that starts with 4KB mappings: khugepaged collapses its
+	// footprint, and throughput improves relative to staying on 4KB pages
+	// (the dynamic version of Table 1).
+	run := func(withDaemon bool) float64 {
+		m := newMachine(t)
+		app := &uniformApp{size: 16 << 20, r: rng.New(9), compute: 1000}
+		var pol sim.Policy = sim.NullPolicy{Interval: 1e8}
+		if withDaemon {
+			pol = &sim.Stack{Policies: []sim.Policy{
+				sim.NullPolicy{Interval: 1e8},
+				&Daemon{Interval: 1e8, MaxCollapsesPerScan: 64},
+			}}
+		}
+		res, err := sim.Run(m, app, pol, sim.RunConfig{DurationNs: 3e9, WarmupNs: 1e9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withDaemon && res.FinalFootprint.Hot2M == 0 {
+			t.Fatal("daemon collapsed nothing")
+		}
+		return res.Throughput
+	}
+	plain := run(false)
+	helped := run(true)
+	if helped <= plain {
+		t.Fatalf("khugepaged did not help: %v vs %v", helped, plain)
+	}
+}
+
+// uniformApp allocates 4KB-backed memory and accesses it uniformly.
+type uniformApp struct {
+	size    uint64
+	r       *rng.PCG
+	region  addr.Range
+	compute int64
+}
+
+func (a *uniformApp) Name() string { return "uniform4k" }
+func (a *uniformApp) Init(m *sim.Machine) error {
+	reg, err := m.AllocRegion(a.size, false)
+	a.region = reg
+	return err
+}
+func (a *uniformApp) Next() (addr.Virt, bool) {
+	return a.region.Start + addr.Virt(a.r.Uint64n(a.region.Size())), false
+}
+func (a *uniformApp) ComputeNs() int64               { return a.compute }
+func (a *uniformApp) Tick(*sim.Machine, int64) error { return nil }

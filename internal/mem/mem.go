@@ -1,0 +1,276 @@
+// Package mem models the two-tiered physical memory system: a fast DRAM tier
+// and a slow, cheap tier (3D-XPoint-class). Each tier owns a slice of the
+// simulated physical address space, a frame allocator at 4KB and 2MB grains,
+// and latency/bandwidth parameters used by the machine model.
+//
+// Physical address space layout: tier i owns addresses [i<<TierShift,
+// (i+1)<<TierShift), so the owning tier of any physical address is recovered
+// with a shift — mirroring how a real system carves NUMA zones out of the
+// physical map.
+package mem
+
+import (
+	"errors"
+	"fmt"
+
+	"thermostat/internal/addr"
+)
+
+// TierID identifies a memory tier.
+type TierID int
+
+// The two tiers of the paper's hybrid memory system.
+const (
+	// Fast is conventional DRAM.
+	Fast TierID = 0
+	// Slow is the dense, cheap, higher-latency technology.
+	Slow TierID = 1
+)
+
+// String names the tier.
+func (id TierID) String() string {
+	switch id {
+	case Fast:
+		return "fast"
+	case Slow:
+		return "slow"
+	default:
+		return fmt.Sprintf("tier%d", int(id))
+	}
+}
+
+// TierShift positions each tier 16TB apart in the physical map.
+const TierShift = 44
+
+// TierOf returns the tier owning physical address p.
+func TierOf(p addr.Phys) TierID { return TierID(uint64(p) >> TierShift) }
+
+// Spec describes one tier's hardware characteristics.
+type Spec struct {
+	// Capacity in bytes; rounded down to whole 2MB frames.
+	Capacity uint64
+	// ReadLatency is the device read latency in nanoseconds (DRAM ~80ns,
+	// slow memory ~1000ns in the paper's emulation).
+	ReadLatency int64
+	// WriteLatency is the device write latency in nanoseconds.
+	WriteLatency int64
+	// Bandwidth is the sustainable device bandwidth in bytes/second, used
+	// to sanity-check migration traffic (Table 3).
+	Bandwidth float64
+	// CostPerGB is the relative cost per GB (DRAM = 1.0); used by the
+	// Table 4 cost model.
+	CostPerGB float64
+}
+
+// DefaultDRAM returns the paper's DRAM-tier parameters for the given
+// capacity.
+func DefaultDRAM(capacity uint64) Spec {
+	return Spec{
+		Capacity:     capacity,
+		ReadLatency:  80,
+		WriteLatency: 80,
+		Bandwidth:    50e9,
+		CostPerGB:    1.0,
+	}
+}
+
+// DefaultSlow returns the paper's emulated slow-memory parameters (1us
+// average access latency, one third of DRAM cost) for the given capacity.
+func DefaultSlow(capacity uint64) Spec {
+	return Spec{
+		Capacity:     capacity,
+		ReadLatency:  1000,
+		WriteLatency: 1000,
+		Bandwidth:    10e9,
+		CostPerGB:    1.0 / 3.0,
+	}
+}
+
+// ErrOutOfMemory is returned when a tier cannot satisfy an allocation.
+var ErrOutOfMemory = errors.New("mem: tier out of memory")
+
+// Tier is one memory tier: spec plus a frame allocator. Allocation is
+// buddy-lite: the tier hands out whole 2MB frames; a 2MB frame may be broken
+// into 512 4KB frames, and 4KB frames coalesce back when all 512 siblings
+// are free.
+type Tier struct {
+	id   TierID
+	spec Spec
+
+	free2M []uint64 // free 2MB frame numbers (LIFO)
+	// broken tracks 2MB frames that have been split for 4KB allocation:
+	// frame number -> bitmap of free 4KB children (1 = free).
+	broken map[uint64]*childMap
+
+	used uint64 // bytes allocated
+}
+
+type childMap struct {
+	free  [8]uint64 // 512-bit bitmap
+	nFree int
+}
+
+func newChildMap() *childMap {
+	c := &childMap{nFree: addr.PagesPerHuge}
+	for i := range c.free {
+		c.free[i] = ^uint64(0)
+	}
+	return c
+}
+
+func (c *childMap) take() int {
+	for w, bits := range c.free {
+		if bits == 0 {
+			continue
+		}
+		b := trailingZeros(bits)
+		c.free[w] &^= 1 << uint(b)
+		c.nFree--
+		return w*64 + b
+	}
+	return -1
+}
+
+func (c *childMap) put(i int) bool {
+	w, b := i/64, uint(i%64)
+	if c.free[w]&(1<<b) != 0 {
+		return false // already free: double free
+	}
+	c.free[w] |= 1 << b
+	c.nFree++
+	return true
+}
+
+func trailingZeros(v uint64) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// NewTier builds a tier with the given identity and spec.
+func NewTier(id TierID, spec Spec) *Tier {
+	t := &Tier{id: id, spec: spec, broken: make(map[uint64]*childMap)}
+	base := uint64(id) << (TierShift - addr.PageShift2M) // in 2MB frame numbers
+	nFrames := spec.Capacity / addr.PageSize2M
+	// Push in reverse so allocation proceeds from the tier base upward.
+	for i := nFrames; i > 0; i-- {
+		t.free2M = append(t.free2M, base+i-1)
+	}
+	return t
+}
+
+// ID returns the tier's identity.
+func (t *Tier) ID() TierID { return t.id }
+
+// Spec returns the tier's hardware characteristics.
+func (t *Tier) Spec() Spec { return t.spec }
+
+// Capacity returns the usable capacity in bytes (whole 2MB frames).
+func (t *Tier) Capacity() uint64 {
+	return (t.spec.Capacity / addr.PageSize2M) * addr.PageSize2M
+}
+
+// Used returns the number of allocated bytes.
+func (t *Tier) Used() uint64 { return t.used }
+
+// Free returns the number of unallocated bytes.
+func (t *Tier) Free() uint64 { return t.Capacity() - t.used }
+
+// Alloc2M allocates one 2MB frame.
+func (t *Tier) Alloc2M() (addr.Phys, error) {
+	n := len(t.free2M)
+	if n == 0 {
+		return 0, fmt.Errorf("%w: %s tier full (%d bytes used)", ErrOutOfMemory, t.id, t.used)
+	}
+	fn := t.free2M[n-1]
+	t.free2M = t.free2M[:n-1]
+	t.used += addr.PageSize2M
+	return addr.Phys2M(fn), nil
+}
+
+// Free2M releases a 2MB frame previously returned by Alloc2M.
+func (t *Tier) Free2M(p addr.Phys) {
+	if p.Base2M() != p {
+		panic(fmt.Sprintf("mem: Free2M of unaligned address %s", p))
+	}
+	fn := p.FrameNum2M()
+	if _, isBroken := t.broken[fn]; isBroken {
+		panic(fmt.Sprintf("mem: Free2M of broken frame %s", p))
+	}
+	t.free2M = append(t.free2M, fn)
+	t.used -= addr.PageSize2M
+}
+
+// Alloc4K allocates one 4KB frame, breaking a 2MB frame if necessary.
+func (t *Tier) Alloc4K() (addr.Phys, error) {
+	for fn, cm := range t.broken {
+		if cm.nFree > 0 {
+			i := cm.take()
+			t.used += addr.PageSize4K
+			return addr.Phys2M(fn) + addr.Phys(uint64(i)*addr.PageSize4K), nil
+		}
+	}
+	// Break a fresh 2MB frame.
+	p, err := t.Alloc2M()
+	if err != nil {
+		return 0, err
+	}
+	t.used -= addr.PageSize2M // Alloc2M charged the full frame; re-charge per 4K
+	fn := p.FrameNum2M()
+	cm := newChildMap()
+	t.broken[fn] = cm
+	i := cm.take()
+	t.used += addr.PageSize4K
+	return addr.Phys2M(fn) + addr.Phys(uint64(i)*addr.PageSize4K), nil
+}
+
+// Free4K releases a 4KB frame previously returned by Alloc4K. When all 512
+// children of the parent 2MB frame are free it coalesces back to the 2MB
+// free list.
+func (t *Tier) Free4K(p addr.Phys) {
+	fn := p.FrameNum2M()
+	cm, ok := t.broken[fn]
+	if !ok {
+		panic(fmt.Sprintf("mem: Free4K of address %s not in a broken frame", p))
+	}
+	i := int(uint64(p.Base4K()-p.Base2M()) / addr.PageSize4K)
+	if !cm.put(i) {
+		panic(fmt.Sprintf("mem: double free of 4K frame %s", p))
+	}
+	t.used -= addr.PageSize4K
+	if cm.nFree == addr.PagesPerHuge {
+		delete(t.broken, fn)
+		t.free2M = append(t.free2M, fn)
+	}
+}
+
+// System is the full physical memory: one allocator per tier.
+type System struct {
+	tiers []*Tier
+}
+
+// NewSystem builds a two-tier system from the given specs, indexed by TierID.
+func NewSystem(fast, slow Spec) *System {
+	return &System{tiers: []*Tier{NewTier(Fast, fast), NewTier(Slow, slow)}}
+}
+
+// Tier returns the tier with the given identity.
+func (s *System) Tier(id TierID) *Tier {
+	return s.tiers[id]
+}
+
+// Tiers returns all tiers.
+func (s *System) Tiers() []*Tier { return s.tiers }
+
+// ReadLatency returns the device read latency for the tier owning p.
+func (s *System) ReadLatency(p addr.Phys) int64 {
+	return s.tiers[TierOf(p)].spec.ReadLatency
+}
+
+// WriteLatency returns the device write latency for the tier owning p.
+func (s *System) WriteLatency(p addr.Phys) int64 {
+	return s.tiers[TierOf(p)].spec.WriteLatency
+}

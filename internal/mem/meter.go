@@ -1,0 +1,76 @@
+package mem
+
+import "thermostat/internal/stats"
+
+// TrafficKind labels why bytes moved between tiers, so the harness can
+// report the paper's Table 3 split (migration vs. false-classification).
+type TrafficKind int
+
+// Traffic categories.
+const (
+	// Demotion is cold data moving fast -> slow (planned placement).
+	Demotion TrafficKind = iota
+	// Promotion is data moving slow -> fast after a mis-classification or
+	// working-set change was detected.
+	Promotion
+	nTrafficKinds
+)
+
+// String names the traffic kind.
+func (k TrafficKind) String() string {
+	switch k {
+	case Demotion:
+		return "demotion"
+	case Promotion:
+		return "promotion"
+	default:
+		return "unknown"
+	}
+}
+
+// Meter accumulates inter-tier traffic by kind. The simulator's virtual
+// clock supplies timestamps; rates are over virtual time.
+type Meter struct {
+	bytes   [nTrafficKinds]stats.Counter
+	pages4K [nTrafficKinds]stats.Counter
+	pages2M [nTrafficKinds]stats.Counter
+	startNs int64
+}
+
+// NewMeter returns a meter whose rate window starts at startNs.
+func NewMeter(startNs int64) *Meter { return &Meter{startNs: startNs} }
+
+// Record accounts one page movement of the given kind and size.
+func (m *Meter) Record(kind TrafficKind, bytes uint64) {
+	m.bytes[kind].Add(bytes)
+	switch {
+	case bytes >= 2<<20:
+		m.pages2M[kind].Add(bytes / (2 << 20))
+	default:
+		m.pages4K[kind].Add(bytes / 4096)
+	}
+}
+
+// Bytes returns the total bytes moved for the kind.
+func (m *Meter) Bytes(kind TrafficKind) uint64 { return m.bytes[kind].Value() }
+
+// TotalBytes returns all bytes moved.
+func (m *Meter) TotalBytes() uint64 {
+	var sum uint64
+	for k := TrafficKind(0); k < nTrafficKinds; k++ {
+		sum += m.bytes[k].Value()
+	}
+	return sum
+}
+
+// RateMBps returns the kind's average rate in MB/s over virtual time
+// [startNs, nowNs].
+func (m *Meter) RateMBps(kind TrafficKind, nowNs int64) float64 {
+	return stats.Rate(m.bytes[kind].Value(), nowNs-m.startNs) / 1e6
+}
+
+// Pages2M returns the number of 2MB page moves of the kind.
+func (m *Meter) Pages2M(kind TrafficKind) uint64 { return m.pages2M[kind].Value() }
+
+// Pages4K returns the number of 4KB page moves of the kind.
+func (m *Meter) Pages4K(kind TrafficKind) uint64 { return m.pages4K[kind].Value() }

@@ -1,0 +1,169 @@
+// Package numa provides the page-migration mechanism Thermostat uses to move
+// data between memory tiers. The paper exposes slow memory to the guest as a
+// separate NUMA zone and moves pages with the kernel's existing migration
+// machinery; here each mem.Tier is a zone and the Migrator reproduces
+// migrate_pages semantics: allocate in the destination, copy, remap, flush
+// the TLB, free the source frame.
+//
+// The Migrator meters traffic by direction so the harness can report the
+// paper's Table 3 (migration rate vs. false-classification rate).
+package numa
+
+import (
+	"fmt"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/mem"
+	"thermostat/internal/pagetable"
+	"thermostat/internal/tlb"
+)
+
+// DefaultPerPageOverheadNs approximates the kernel's fixed migrate_pages
+// bookkeeping cost per page (unmap, copy setup, remap).
+const DefaultPerPageOverheadNs = 3000
+
+// Migrator moves pages between tiers.
+type Migrator struct {
+	sys   *mem.System
+	pt    *pagetable.Table
+	tl    *tlb.TLB
+	meter *mem.Meter
+
+	perPageOverheadNs int64
+}
+
+// NewMigrator builds a migrator over the given memory system, page table and
+// TLB. Traffic is recorded into meter.
+func NewMigrator(sys *mem.System, pt *pagetable.Table, tl *tlb.TLB, meter *mem.Meter) *Migrator {
+	return &Migrator{
+		sys: sys, pt: pt, tl: tl, meter: meter,
+		perPageOverheadNs: DefaultPerPageOverheadNs,
+	}
+}
+
+// Meter returns the traffic meter.
+func (m *Migrator) Meter() *mem.Meter { return m.meter }
+
+// copyCost returns the virtual-time cost of copying n bytes between tiers,
+// bounded by the slower tier's bandwidth.
+func (m *Migrator) copyCost(src, dst mem.TierID, n uint64) int64 {
+	bw := m.sys.Tier(src).Spec().Bandwidth
+	if b := m.sys.Tier(dst).Spec().Bandwidth; b < bw {
+		bw = b
+	}
+	if bw <= 0 {
+		return m.perPageOverheadNs
+	}
+	return int64(float64(n)/bw*1e9) + m.perPageOverheadNs
+}
+
+// TierOfPage returns the tier currently backing the leaf mapping v.
+func (m *Migrator) TierOfPage(v addr.Virt) (mem.TierID, error) {
+	e, _, ok := m.pt.Lookup(v)
+	if !ok {
+		return 0, fmt.Errorf("numa: %s unmapped", v)
+	}
+	return mem.TierOf(e.Frame), nil
+}
+
+// MoveHuge migrates the entire 2MB region containing v to tier dst. The
+// region may be mapped as a single huge leaf or as 512 split 4KB leaves over
+// one physical 2MB frame (a sampled page); in the split case the mapping
+// stays split — children are remapped onto the new frame preserving their
+// flags (including Poisoned, so §3.5 monitoring survives migration).
+//
+// Returns the virtual-time cost. Migrating a page already in dst is an
+// error; callers decide placement first.
+func (m *Migrator) MoveHuge(v addr.Virt, dst mem.TierID, vpid tlb.VPID, kind mem.TrafficKind) (int64, error) {
+	hv := v.Base2M()
+	e, lvl, ok := m.pt.Lookup(hv)
+	if !ok {
+		return 0, fmt.Errorf("numa: MoveHuge of unmapped %s", hv)
+	}
+	src := mem.TierOf(e.Frame)
+	if src == dst {
+		return 0, fmt.Errorf("numa: %s already in %s tier", hv, dst)
+	}
+	newFrame, err := m.sys.Tier(dst).Alloc2M()
+	if err != nil {
+		return 0, fmt.Errorf("numa: MoveHuge %s: %w", hv, err)
+	}
+
+	oldBase := e.Frame.Base2M()
+	switch lvl {
+	case pagetable.Level2M:
+		if _, err := m.pt.Remap(hv, newFrame); err != nil {
+			m.sys.Tier(dst).Free2M(newFrame)
+			return 0, err
+		}
+		m.tl.Invalidate(hv, vpid)
+	case pagetable.Level4K:
+		// Split region: verify contiguity over the old frame, then remap
+		// every child.
+		for i := 0; i < addr.PagesPerHuge; i++ {
+			cv := hv + addr.Virt(uint64(i)*addr.PageSize4K)
+			ce, clvl, ok := m.pt.Lookup(cv)
+			if !ok || clvl != pagetable.Level4K {
+				m.sys.Tier(dst).Free2M(newFrame)
+				return 0, fmt.Errorf("numa: MoveHuge %s: child %d not 4K-mapped", hv, i)
+			}
+			if ce.Frame.Base2M() != oldBase {
+				m.sys.Tier(dst).Free2M(newFrame)
+				return 0, fmt.Errorf("numa: MoveHuge %s: child %d not contiguous", hv, i)
+			}
+		}
+		for i := 0; i < addr.PagesPerHuge; i++ {
+			cv := hv + addr.Virt(uint64(i)*addr.PageSize4K)
+			ce, _, _ := m.pt.Lookup(cv)
+			poisoned := ce.Flags.Has(pagetable.Poisoned)
+			if _, err := m.pt.Remap(cv, newFrame+addr.Phys(uint64(i)*addr.PageSize4K)); err != nil {
+				// Unreachable after the verification pass; fail loudly.
+				panic(fmt.Sprintf("numa: remap of verified child failed: %v", err))
+			}
+			if poisoned {
+				m.pt.SetFlags(cv, pagetable.Poisoned)
+			}
+			m.tl.Invalidate(cv, vpid)
+		}
+	}
+
+	m.sys.Tier(src).Free2M(oldBase)
+	m.meter.Record(kind, addr.PageSize2M)
+	return m.copyCost(src, dst, addr.PageSize2M), nil
+}
+
+// Move4K migrates a single natively-4K-mapped page (one whose frame was
+// allocated at 4KB grain, e.g. file-cache mappings) to tier dst.
+func (m *Migrator) Move4K(v addr.Virt, dst mem.TierID, vpid tlb.VPID, kind mem.TrafficKind) (int64, error) {
+	pv := v.Base4K()
+	e, lvl, ok := m.pt.Lookup(pv)
+	if !ok {
+		return 0, fmt.Errorf("numa: Move4K of unmapped %s", pv)
+	}
+	if lvl != pagetable.Level4K {
+		return 0, fmt.Errorf("numa: Move4K of huge-mapped %s", pv)
+	}
+	if e.Flags.Has(pagetable.SplitSampled) {
+		return 0, fmt.Errorf("numa: Move4K of split-THP child %s (use MoveHuge)", pv)
+	}
+	src := mem.TierOf(e.Frame)
+	if src == dst {
+		return 0, fmt.Errorf("numa: %s already in %s tier", pv, dst)
+	}
+	newFrame, err := m.sys.Tier(dst).Alloc4K()
+	if err != nil {
+		return 0, fmt.Errorf("numa: Move4K %s: %w", pv, err)
+	}
+	poisoned := e.Flags.Has(pagetable.Poisoned)
+	if _, err := m.pt.Remap(pv, newFrame); err != nil {
+		m.sys.Tier(dst).Free4K(newFrame)
+		return 0, err
+	}
+	if poisoned {
+		m.pt.SetFlags(pv, pagetable.Poisoned)
+	}
+	m.tl.Invalidate(pv, vpid)
+	m.sys.Tier(src).Free4K(e.Frame.Base4K())
+	m.meter.Record(kind, addr.PageSize4K)
+	return m.copyCost(src, dst, addr.PageSize4K), nil
+}

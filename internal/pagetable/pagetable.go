@@ -1,0 +1,495 @@
+// Package pagetable implements an x86-64-style 4-level radix page table for
+// the simulated MMU: PML4 → PDPT → PD → PT, with 2MB huge-page leaves at the
+// PD level and 4KB leaves at the PT level.
+//
+// Entries carry the architectural flag bits Thermostat's mechanisms consume:
+// Accessed and Dirty (set by simulated hardware walks), and a Poisoned bit
+// standing in for PTE reserved bit 51, which BadgerTrap-style fault
+// interception uses to trap TLB misses to sampled pages.
+//
+// The table supports transparent-huge-page style split (one 2MB leaf into
+// 512 4KB leaves over the same physical frame) and collapse (the inverse),
+// which is how Thermostat samples constituent 4KB pages of a huge page.
+package pagetable
+
+import (
+	"fmt"
+
+	"thermostat/internal/addr"
+)
+
+// Flags is the PTE flag word.
+type Flags uint16
+
+// Architectural and software PTE flags.
+const (
+	// Present marks a valid translation.
+	Present Flags = 1 << iota
+	// Writable permits stores.
+	Writable
+	// Accessed is set by every hardware walk that uses the entry.
+	Accessed
+	// Dirty is set by every hardware walk for a store.
+	Dirty
+	// Huge marks a PD-level 2MB leaf (the PS bit).
+	Huge
+	// Poisoned models a set reserved bit (bit 51): a hardware walk that
+	// reaches a poisoned entry raises a protection fault, which
+	// BadgerTrap intercepts to count accesses.
+	Poisoned
+	// SplitSampled is a software bit marking 4KB leaves that were created
+	// by splitting a huge page for sampling (so the engine can tell them
+	// apart from native 4KB mappings when reporting footprints).
+	SplitSampled
+)
+
+// Has reports whether all bits in mask are set.
+func (f Flags) Has(mask Flags) bool { return f&mask == mask }
+
+// Entry is one page-table entry.
+type Entry struct {
+	Frame addr.Phys
+	Flags Flags
+}
+
+// Level identifies where a translation terminated.
+type Level int
+
+// Leaf levels.
+const (
+	// Level4K is a PT-level 4KB leaf.
+	Level4K Level = 1
+	// Level2M is a PD-level 2MB huge leaf.
+	Level2M Level = 2
+)
+
+// node is one 512-entry radix table.
+type node struct {
+	entries  [512]Entry
+	children [512]*node
+	// liveLeaves counts present leaf entries in this node (PT and PD-huge),
+	// so unmap can prune empty nodes.
+	liveLeaves int
+	// liveChildren counts non-nil children.
+	liveChildren int
+}
+
+// Table is a 4-level page table.
+type Table struct {
+	root    *node
+	count4K int
+	count2M int
+}
+
+// New returns an empty table.
+func New() *Table { return &Table{root: &node{}} }
+
+// Count4K returns the number of present 4KB leaf entries.
+func (t *Table) Count4K() int { return t.count4K }
+
+// Count2M returns the number of present 2MB leaf entries.
+func (t *Table) Count2M() int { return t.count2M }
+
+// MappedBytes returns the total bytes mapped.
+func (t *Table) MappedBytes() uint64 {
+	return uint64(t.count4K)*addr.PageSize4K + uint64(t.count2M)*addr.PageSize2M
+}
+
+// descend returns the node at the given level for v, allocating intermediate
+// nodes when create is set. Level 4 is the root; descend(v, 1, true) returns
+// the PT node whose entries map 4KB pages.
+func (t *Table) descend(v addr.Virt, level int, create bool) *node {
+	n := t.root
+	for l := 4; l > level; l-- {
+		i := addr.Index(v, l)
+		// A huge leaf blocks descent below level 2.
+		if l == 2 && n.entries[i].Flags.Has(Present|Huge) {
+			return nil
+		}
+		child := n.children[i]
+		if child == nil {
+			if !create {
+				return nil
+			}
+			child = &node{}
+			n.children[i] = child
+			n.liveChildren++
+		}
+		n = child
+	}
+	return n
+}
+
+// Map4K installs a 4KB translation v -> p. Fails if v is already mapped at
+// either grain.
+func (t *Table) Map4K(v addr.Virt, p addr.Phys, flags Flags) error {
+	if e, _, ok := t.Lookup(v); ok {
+		return fmt.Errorf("pagetable: %s already mapped to %s", v, e.Frame)
+	}
+	pt := t.descend(v, 1, true)
+	if pt == nil {
+		return fmt.Errorf("pagetable: %s covered by a huge mapping", v)
+	}
+	i := addr.Index(v, 1)
+	pt.entries[i] = Entry{Frame: p.Base4K(), Flags: flags | Present}
+	pt.liveLeaves++
+	t.count4K++
+	return nil
+}
+
+// Map2M installs a 2MB translation v -> p at the PD level. v and p must be
+// 2MB-aligned. Fails if any 4KB page in the range is already mapped.
+func (t *Table) Map2M(v addr.Virt, p addr.Phys, flags Flags) error {
+	if v.Base2M() != v {
+		return fmt.Errorf("pagetable: Map2M of unaligned virtual %s", v)
+	}
+	if p.Base2M() != p {
+		return fmt.Errorf("pagetable: Map2M of unaligned physical %s", p)
+	}
+	pd := t.descend(v, 2, true)
+	if pd == nil {
+		return fmt.Errorf("pagetable: %s covered by a huge mapping", v)
+	}
+	i := addr.Index(v, 2)
+	if pd.entries[i].Flags.Has(Present) {
+		return fmt.Errorf("pagetable: %s already huge-mapped", v)
+	}
+	if pd.children[i] != nil {
+		return fmt.Errorf("pagetable: %s overlaps existing 4KB mappings", v)
+	}
+	pd.entries[i] = Entry{Frame: p, Flags: flags | Present | Huge}
+	pd.liveLeaves++
+	t.count2M++
+	return nil
+}
+
+// Lookup finds the translation for v without side effects (no Accessed
+// update, no poison fault). ok is false if v is unmapped.
+func (t *Table) Lookup(v addr.Virt) (Entry, Level, bool) {
+	n := t.root
+	for l := 4; l >= 1; l-- {
+		i := addr.Index(v, l)
+		if l == 2 {
+			e := n.entries[i]
+			if e.Flags.Has(Present | Huge) {
+				return e, Level2M, true
+			}
+		}
+		if l == 1 {
+			e := n.entries[i]
+			if e.Flags.Has(Present) {
+				return e, Level4K, true
+			}
+			return Entry{}, 0, false
+		}
+		if n.children[i] == nil {
+			return Entry{}, 0, false
+		}
+		n = n.children[i]
+	}
+	return Entry{}, 0, false
+}
+
+// Translate resolves v to a physical address using Lookup (no side effects).
+func (t *Table) Translate(v addr.Virt) (addr.Phys, bool) {
+	e, lvl, ok := t.Lookup(v)
+	if !ok {
+		return 0, false
+	}
+	if lvl == Level2M {
+		return e.Frame + addr.Phys(v.Offset2M()), true
+	}
+	return e.Frame + addr.Phys(v.Offset4K()), true
+}
+
+// WalkResult describes a simulated hardware page walk.
+type WalkResult struct {
+	// Entry is the leaf translation found (zero if !Found).
+	Entry Entry
+	// Level is the leaf level (Level4K or Level2M).
+	Level Level
+	// Found is false for an unmapped address (page fault).
+	Found bool
+	// Poisoned is true when the leaf had the Poisoned bit set: the walk
+	// raises a protection fault instead of installing a translation.
+	Poisoned bool
+	// Depth is the number of page-table levels the walker touched (each
+	// costs one memory access in the native walk-cost model).
+	Depth int
+}
+
+// Walk performs a hardware page walk for v: finds the leaf, sets Accessed
+// (and Dirty for writes) unless the entry is poisoned, and reports the walk
+// depth. A poisoned leaf reports Poisoned=true and leaves flags untouched —
+// the MMU raises the fault before retiring the access.
+func (t *Table) Walk(v addr.Virt, write bool) WalkResult {
+	n := t.root
+	depth := 0
+	for l := 4; l >= 1; l-- {
+		i := addr.Index(v, l)
+		depth++
+		if l == 2 && n.entries[i].Flags.Has(Present|Huge) {
+			return t.finishWalk(&n.entries[i], Level2M, depth, write)
+		}
+		if l == 1 {
+			if !n.entries[i].Flags.Has(Present) {
+				return WalkResult{Depth: depth}
+			}
+			return t.finishWalk(&n.entries[i], Level4K, depth, write)
+		}
+		if n.children[i] == nil {
+			return WalkResult{Depth: depth}
+		}
+		n = n.children[i]
+	}
+	return WalkResult{Depth: depth}
+}
+
+func (t *Table) finishWalk(e *Entry, lvl Level, depth int, write bool) WalkResult {
+	if e.Flags.Has(Poisoned) {
+		return WalkResult{Entry: *e, Level: lvl, Found: true, Poisoned: true, Depth: depth}
+	}
+	e.Flags |= Accessed
+	if write {
+		e.Flags |= Dirty
+	}
+	return WalkResult{Entry: *e, Level: lvl, Found: true, Depth: depth}
+}
+
+// entryRef returns a pointer to the leaf entry mapping v, or nil.
+func (t *Table) entryRef(v addr.Virt) (*Entry, Level) {
+	n := t.root
+	for l := 4; l >= 1; l-- {
+		i := addr.Index(v, l)
+		if l == 2 && n.entries[i].Flags.Has(Present|Huge) {
+			return &n.entries[i], Level2M
+		}
+		if l == 1 {
+			if n.entries[i].Flags.Has(Present) {
+				return &n.entries[i], Level4K
+			}
+			return nil, 0
+		}
+		if n.children[i] == nil {
+			return nil, 0
+		}
+		n = n.children[i]
+	}
+	return nil, 0
+}
+
+// SetFlags ORs mask into the leaf entry mapping v. Returns false if unmapped.
+func (t *Table) SetFlags(v addr.Virt, mask Flags) bool {
+	e, _ := t.entryRef(v)
+	if e == nil {
+		return false
+	}
+	e.Flags |= mask
+	return true
+}
+
+// ClearFlags removes mask from the leaf entry mapping v. Returns the prior
+// flags and whether v was mapped.
+func (t *Table) ClearFlags(v addr.Virt, mask Flags) (Flags, bool) {
+	e, _ := t.entryRef(v)
+	if e == nil {
+		return 0, false
+	}
+	prior := e.Flags
+	e.Flags &^= mask
+	return prior, true
+}
+
+// Remap changes the physical frame of the leaf mapping v (page migration).
+// The grain of the existing mapping is preserved; flags other than Accessed
+// and Dirty are kept, and Accessed/Dirty are cleared (fresh page, as after a
+// migration the kernel re-establishes the mapping). Returns the old frame.
+func (t *Table) Remap(v addr.Virt, p addr.Phys) (addr.Phys, error) {
+	e, lvl := t.entryRef(v)
+	if e == nil {
+		return 0, fmt.Errorf("pagetable: Remap of unmapped %s", v)
+	}
+	if lvl == Level2M && p.Base2M() != p {
+		return 0, fmt.Errorf("pagetable: Remap 2M to unaligned %s", p)
+	}
+	old := e.Frame
+	e.Frame = p
+	e.Flags &^= Accessed | Dirty
+	return old, nil
+}
+
+// Unmap removes the leaf mapping v at whichever grain it exists. Returns the
+// removed entry and its level.
+func (t *Table) Unmap(v addr.Virt) (Entry, Level, error) {
+	// Walk down remembering the path so empty nodes can be pruned.
+	var path [4]pruneStep
+	n := t.root
+	for l := 4; l >= 1; l-- {
+		i := addr.Index(v, l)
+		path[4-l] = pruneStep{n, i}
+		if l == 2 && n.entries[i].Flags.Has(Present|Huge) {
+			e := n.entries[i]
+			n.entries[i] = Entry{}
+			n.liveLeaves--
+			t.count2M--
+			t.prune(path[:4-l+1])
+			return e, Level2M, nil
+		}
+		if l == 1 {
+			if !n.entries[i].Flags.Has(Present) {
+				return Entry{}, 0, fmt.Errorf("pagetable: Unmap of unmapped %s", v)
+			}
+			e := n.entries[i]
+			n.entries[i] = Entry{}
+			n.liveLeaves--
+			t.count4K--
+			t.prune(path[:])
+			return e, Level4K, nil
+		}
+		if n.children[i] == nil {
+			return Entry{}, 0, fmt.Errorf("pagetable: Unmap of unmapped %s", v)
+		}
+		n = n.children[i]
+	}
+	return Entry{}, 0, fmt.Errorf("pagetable: Unmap of unmapped %s", v)
+}
+
+type pruneStep = struct {
+	n *node
+	i int
+}
+
+func (t *Table) prune(path []pruneStep) {
+	// Remove empty nodes bottom-up (never the root).
+	for k := len(path) - 1; k >= 1; k-- {
+		child := path[k].n
+		if child.liveLeaves == 0 && child.liveChildren == 0 {
+			parent := path[k-1]
+			parent.n.children[parent.i] = nil
+			parent.n.liveChildren--
+		} else {
+			break
+		}
+	}
+}
+
+// Split breaks the 2MB leaf mapping v into 512 4KB leaves over the same
+// physical frame (THP split). The children inherit the parent's flags minus
+// Huge, plus SplitSampled; Accessed and Dirty are cleared on the children so
+// post-split scans observe fresh access information.
+func (t *Table) Split(v addr.Virt) error {
+	hv := v.Base2M()
+	pd := t.descend(hv, 2, false)
+	if pd == nil {
+		return fmt.Errorf("pagetable: Split of unmapped %s", hv)
+	}
+	i := addr.Index(hv, 2)
+	e := pd.entries[i]
+	if !e.Flags.Has(Present | Huge) {
+		return fmt.Errorf("pagetable: Split of non-huge mapping at %s", hv)
+	}
+	childFlags := (e.Flags &^ (Huge | Accessed | Dirty)) | SplitSampled
+	pt := &node{}
+	for j := 0; j < addr.PagesPerHuge; j++ {
+		pt.entries[j] = Entry{
+			Frame: e.Frame + addr.Phys(uint64(j)*addr.PageSize4K),
+			Flags: childFlags,
+		}
+	}
+	pt.liveLeaves = addr.PagesPerHuge
+	pd.entries[i] = Entry{}
+	pd.liveLeaves--
+	pd.children[i] = pt
+	pd.liveChildren++
+	t.count2M--
+	t.count4K += addr.PagesPerHuge
+	return nil
+}
+
+// Collapse merges 512 4KB leaves back into one 2MB leaf (THP collapse). All
+// 512 children must be present and physically contiguous within one aligned
+// 2MB frame. The merged entry's Accessed/Dirty are the OR of the children's;
+// Poisoned children block collapse (unpoison first).
+func (t *Table) Collapse(v addr.Virt) error {
+	hv := v.Base2M()
+	pd := t.descend(hv, 2, false)
+	if pd == nil {
+		return fmt.Errorf("pagetable: Collapse of unmapped %s", hv)
+	}
+	i := addr.Index(hv, 2)
+	pt := pd.children[i]
+	if pt == nil {
+		return fmt.Errorf("pagetable: Collapse of %s: no 4KB mappings", hv)
+	}
+	base := pt.entries[0].Frame
+	if base.Base2M() != base {
+		return fmt.Errorf("pagetable: Collapse of %s: frame %s not 2MB-aligned", hv, base)
+	}
+	var merged Flags
+	for j := 0; j < addr.PagesPerHuge; j++ {
+		e := pt.entries[j]
+		if !e.Flags.Has(Present) {
+			return fmt.Errorf("pagetable: Collapse of %s: child %d absent", hv, j)
+		}
+		if e.Flags.Has(Poisoned) {
+			return fmt.Errorf("pagetable: Collapse of %s: child %d poisoned", hv, j)
+		}
+		if e.Frame != base+addr.Phys(uint64(j)*addr.PageSize4K) {
+			return fmt.Errorf("pagetable: Collapse of %s: child %d not contiguous", hv, j)
+		}
+		merged |= e.Flags & (Accessed | Dirty)
+	}
+	parentFlags := (pt.entries[0].Flags &^ SplitSampled) | Huge | merged
+	pd.children[i] = nil
+	pd.liveChildren--
+	pd.entries[i] = Entry{Frame: base, Flags: parentFlags}
+	pd.liveLeaves++
+	t.count2M++
+	t.count4K -= addr.PagesPerHuge
+	return nil
+}
+
+// IsSplit reports whether the 2MB region containing v is currently mapped by
+// 4KB leaves created from a split huge page.
+func (t *Table) IsSplit(v addr.Virt) bool {
+	e, _, ok := t.Lookup(v)
+	return ok && e.Flags.Has(SplitSampled)
+}
+
+// LeafVisitor receives each present leaf entry during a Scan. base is the
+// leaf's virtual base address. Mutations through the pointer are visible to
+// subsequent walks (this is how scanners clear Accessed bits).
+type LeafVisitor func(base addr.Virt, e *Entry, lvl Level)
+
+// Scan visits every present leaf in the table in address order.
+func (t *Table) Scan(fn LeafVisitor) {
+	t.scanNode(t.root, 4, 0, fn)
+}
+
+func (t *Table) scanNode(n *node, level int, prefix uint64, fn LeafVisitor) {
+	for i := 0; i < 512; i++ {
+		va := prefix | uint64(i)<<uint(addr.PageShift4K+9*(level-1))
+		if level == 2 && n.entries[i].Flags.Has(Present|Huge) {
+			fn(addr.Virt(va), &n.entries[i], Level2M)
+			continue
+		}
+		if level == 1 {
+			if n.entries[i].Flags.Has(Present) {
+				fn(addr.Virt(va), &n.entries[i], Level4K)
+			}
+			continue
+		}
+		if n.children[i] != nil {
+			t.scanNode(n.children[i], level-1, va, fn)
+		}
+	}
+}
+
+// ScanRange visits present leaves whose base addresses fall in r.
+func (t *Table) ScanRange(r addr.Range, fn LeafVisitor) {
+	t.Scan(func(base addr.Virt, e *Entry, lvl Level) {
+		if r.Contains(base) {
+			fn(base, e, lvl)
+		}
+	})
+}

@@ -1,0 +1,37 @@
+// Package pricing implements the paper's DRAM cost-savings model (§5.3,
+// Table 4): when a fraction of the application footprint lives in slow
+// memory priced at a fraction of DRAM, the memory spend saved relative to
+// an all-DRAM system is coldFrac · (1 − costRatio).
+package pricing
+
+import "fmt"
+
+// PaperRatios are the slow:DRAM cost points Table 4 evaluates.
+var PaperRatios = []float64{1.0 / 3, 1.0 / 4, 1.0 / 5}
+
+// Savings returns the fraction of memory spending saved when coldFrac of
+// the footprint is placed in slow memory costing costRatio of DRAM per GB.
+func Savings(coldFrac, costRatio float64) (float64, error) {
+	if coldFrac < 0 || coldFrac > 1 {
+		return 0, fmt.Errorf("pricing: cold fraction %v outside [0, 1]", coldFrac)
+	}
+	if costRatio < 0 || costRatio > 1 {
+		return 0, fmt.Errorf("pricing: cost ratio %v outside [0, 1]", costRatio)
+	}
+	return coldFrac * (1 - costRatio), nil
+}
+
+// BreakEvenSlowdown estimates the maximum tolerable slowdown before the
+// memory savings are wiped out by extra CPU provisioning, given the
+// memory share of total system cost and the achieved savings fraction.
+// A slowdown of s requires ~s more CPU+rest capacity to hold throughput:
+// net win requires savings·memShare > s·(1−memShare).
+func BreakEvenSlowdown(savings, memShare float64) (float64, error) {
+	if savings < 0 || savings > 1 {
+		return 0, fmt.Errorf("pricing: savings %v outside [0, 1]", savings)
+	}
+	if memShare <= 0 || memShare >= 1 {
+		return 0, fmt.Errorf("pricing: memory cost share %v outside (0, 1)", memShare)
+	}
+	return savings * memShare / (1 - memShare), nil
+}

@@ -1,0 +1,75 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSavingsMatchesTable4(t *testing.T) {
+	// Table 4: Cassandra (≈40% cold) saves 27%/30%/32% at cost ratios
+	// 1/3, 1/4, 1/5.
+	cases := []struct {
+		cold, ratio, want float64
+	}{
+		{0.40, 1.0 / 3, 0.27},
+		{0.40, 1.0 / 4, 0.30},
+		{0.40, 1.0 / 5, 0.32},
+		// Aerospike (≈15% cold): 10%/11%/12%.
+		{0.15, 1.0 / 3, 0.10},
+		{0.15, 1.0 / 4, 0.11},
+		{0.15, 1.0 / 5, 0.12},
+	}
+	for _, c := range cases {
+		got, err := Savings(c.cold, c.ratio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 0.005 {
+			t.Errorf("Savings(%v, %v) = %v, want ~%v", c.cold, c.ratio, got, c.want)
+		}
+	}
+}
+
+func TestSavingsBounds(t *testing.T) {
+	if _, err := Savings(-0.1, 0.3); err == nil {
+		t.Error("negative cold fraction accepted")
+	}
+	if _, err := Savings(0.5, 1.5); err == nil {
+		t.Error("cost ratio > 1 accepted")
+	}
+	if s, _ := Savings(0, 0.3); s != 0 {
+		t.Error("no cold data should save nothing")
+	}
+	if s, _ := Savings(1, 0); s != 1 {
+		t.Error("all-cold free memory should save everything")
+	}
+}
+
+func TestPaperRatios(t *testing.T) {
+	if len(PaperRatios) != 3 {
+		t.Fatal("Table 4 has three cost points")
+	}
+	for i := 1; i < len(PaperRatios); i++ {
+		if PaperRatios[i] >= PaperRatios[i-1] {
+			t.Fatal("ratios should descend (cheaper slow memory)")
+		}
+	}
+}
+
+func TestBreakEvenSlowdown(t *testing.T) {
+	// 30% savings when memory is 20% of system cost: tolerable slowdown
+	// before net loss = 0.3*0.2/0.8 = 7.5%.
+	got, err := BreakEvenSlowdown(0.30, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.075) > 1e-9 {
+		t.Fatalf("BreakEvenSlowdown = %v, want 0.075", got)
+	}
+	if _, err := BreakEvenSlowdown(0.3, 0); err == nil {
+		t.Error("zero memory share accepted")
+	}
+	if _, err := BreakEvenSlowdown(2, 0.5); err == nil {
+		t.Error("savings > 1 accepted")
+	}
+}

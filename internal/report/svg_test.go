@@ -1,0 +1,155 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"thermostat/internal/stats"
+)
+
+func validSVG(t *testing.T, out string) {
+	t.Helper()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatalf("not an SVG document:\n%.120s...", out)
+	}
+	// Balanced critical elements.
+	if strings.Count(out, "<svg") != 1 {
+		t.Fatal("nested svg")
+	}
+}
+
+func TestLinePlotSVG(t *testing.T) {
+	s1 := stats.NewSeries("slow_rate")
+	for i := int64(0); i < 50; i++ {
+		s1.Append(i*1e9, float64(i*600))
+	}
+	p := &LinePlot{
+		Title: "Figure 3", XLabel: "time (s)", YLabel: "accesses/sec",
+		Series: []*stats.Series{s1}, HLine: 30000,
+	}
+	var b strings.Builder
+	if err := p.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	validSVG(t, out)
+	for _, want := range []string{"Figure 3", "polyline", "stroke-dasharray", "slow_rate", "accesses/sec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestLinePlotStacked(t *testing.T) {
+	mk := func(name string, scale float64) *stats.Series {
+		s := stats.NewSeries(name)
+		for i := int64(0); i < 20; i++ {
+			s.Append(i*1e9, scale*float64(i))
+		}
+		return s
+	}
+	p := &LinePlot{
+		Title: "Figure 5", Stacked: true,
+		Series: []*stats.Series{mk("cold", 1), mk("hot", 2)},
+	}
+	var b strings.Builder
+	if err := p.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	validSVG(t, out)
+	if strings.Count(out, "<polygon") != 2 {
+		t.Errorf("stacked areas = %d, want 2", strings.Count(out, "<polygon"))
+	}
+}
+
+func TestLinePlotDownsamples(t *testing.T) {
+	s := stats.NewSeries("big")
+	for i := int64(0); i < 10000; i++ {
+		s.Append(i*1e6, float64(i))
+	}
+	p := &LinePlot{Title: "big", Series: []*stats.Series{s}}
+	var b strings.Builder
+	if err := p.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Point count bounded: the polyline must not carry 10000 points.
+	if pts := strings.Count(b.String(), ","); pts > 3000 {
+		t.Errorf("too many rendered points: ~%d", pts)
+	}
+}
+
+func TestScatterPlotSVG(t *testing.T) {
+	p := &ScatterPlot{
+		Title: "Figure 2", XLabel: "hot regions", YLabel: "rate",
+		X: []float64{0, 1, 2, 50}, Y: []float64{5000, 100, 9000, 30},
+	}
+	var b strings.Builder
+	if err := p.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	validSVG(t, out)
+	if strings.Count(out, "<circle") != 4 {
+		t.Errorf("circles = %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestBarPlotSVG(t *testing.T) {
+	p := &BarPlot{
+		Title: "Figure 11", YLabel: "cold %",
+		Labels:     []string{"aerospike", "cassandra"},
+		Groups:     [][]float64{{10, 40}, {15, 50}, {20, 60}},
+		GroupNames: []string{"3%", "6%", "10%"},
+	}
+	var b strings.Builder
+	if err := p.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	validSVG(t, out)
+	if strings.Count(out, "<rect") < 6 {
+		t.Errorf("bars missing:\n%s", out)
+	}
+	if !strings.Contains(out, "aerospike") {
+		t.Error("labels missing")
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	p := &LinePlot{Title: `a <b> & "c"`, Series: []*stats.Series{stats.NewSeries("x")}}
+	var b strings.Builder
+	if err := p.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "<b>") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestCompactNum(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		42:      "42",
+		1500:    "1.5k",
+		2.5e6:   "2.5M",
+		3e9:     "3.0G",
+		0.25:    "0.25",
+		30000:   "30.0k",
+		1000000: "1.0M",
+	}
+	for in, want := range cases {
+		if got := compactNum(in); got != want {
+			t.Errorf("compactNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestShorten(t *testing.T) {
+	if shorten("short", 10) != "short" {
+		t.Error("shorten changed short string")
+	}
+	if got := shorten("in-memory-analytics", 10); len(got) > 12 {
+		t.Errorf("shorten failed: %q", got)
+	}
+}

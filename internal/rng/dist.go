@@ -1,0 +1,177 @@
+package rng
+
+import "math"
+
+// Dist draws item indices from a fixed-size population with some popularity
+// distribution. Implementations must be deterministic given their PCG.
+type Dist interface {
+	// Next returns the next item index in [0, N).
+	Next() uint64
+	// N returns the population size.
+	N() uint64
+}
+
+// Uniform draws uniformly from [0, n).
+type Uniform struct {
+	r *PCG
+	n uint64
+}
+
+// NewUniform returns a uniform distribution over [0, n).
+func NewUniform(r *PCG, n uint64) *Uniform {
+	if n == 0 {
+		panic("rng: NewUniform(0)")
+	}
+	return &Uniform{r: r, n: n}
+}
+
+// Next returns the next item index.
+func (u *Uniform) Next() uint64 { return u.r.Uint64n(u.n) }
+
+// N returns the population size.
+func (u *Uniform) N() uint64 { return u.n }
+
+// Zipfian draws from a Zipfian distribution over [0, n) with parameter theta,
+// using the Gray et al. rejection-free method popularized by YCSB. Item 0 is
+// the most popular.
+type Zipfian struct {
+	r     *PCG
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// YCSBTheta is the Zipfian skew YCSB uses by default.
+const YCSBTheta = 0.99
+
+// NewZipfian returns a Zipfian distribution over [0, n) with skew theta
+// (0 < theta < 1; larger is more skewed).
+func NewZipfian(r *PCG, n uint64, theta float64) *Zipfian {
+	if n == 0 {
+		panic("rng: NewZipfian(0)")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("rng: Zipfian theta must be in (0, 1)")
+	}
+	z := &Zipfian{r: r, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// Direct sum for small n; for large n use the Euler-Maclaurin
+	// approximation so construction stays O(1)-ish.
+	if n <= 1<<20 {
+		sum := 0.0
+		for i := uint64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	head := zeta(1<<20, theta)
+	// Integral approximation of the tail sum_{i=2^20+1}^{n} i^-theta.
+	a, b := float64(uint64(1<<20)), float64(n)
+	tail := (math.Pow(b, 1-theta) - math.Pow(a, 1-theta)) / (1 - theta)
+	return head + tail
+}
+
+// Next returns the next item index; 0 is hottest.
+func (z *Zipfian) Next() uint64 {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// N returns the population size.
+func (z *Zipfian) N() uint64 { return z.n }
+
+// ScrambledZipfian spreads Zipfian popularity across the key space by
+// hashing, so hot items are not clustered at low indices. This matches how
+// YCSB drives key-value stores: popularity is skewed but hot keys land at
+// arbitrary positions.
+type ScrambledZipfian struct {
+	z *Zipfian
+}
+
+// NewScrambledZipfian returns a scrambled Zipfian distribution over [0, n).
+func NewScrambledZipfian(r *PCG, n uint64, theta float64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(r, n, theta)}
+}
+
+// Next returns the next item index.
+func (s *ScrambledZipfian) Next() uint64 {
+	return Hash64(s.z.Next()) % s.z.n
+}
+
+// N returns the population size.
+func (s *ScrambledZipfian) N() uint64 { return s.z.n }
+
+// Hash64 is the 64-bit finalizer from MurmurHash3: a cheap bijective mixer.
+func Hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Hotspot draws from [0, n) where a fraction hotSetFrac of the items receives
+// a fraction hotOpnFrac of the draws (e.g. the paper's Redis load: 0.01% of
+// keys receive 90% of traffic). Within the hot and cold sets draws are
+// uniform. The hot set is the index prefix; combine with a key scrambler if
+// spatial clustering is undesirable.
+type Hotspot struct {
+	r          *PCG
+	n          uint64
+	hotN       uint64
+	hotOpnFrac float64
+}
+
+// NewHotspot returns a hotspot distribution over [0, n).
+func NewHotspot(r *PCG, n uint64, hotSetFrac, hotOpnFrac float64) *Hotspot {
+	if n == 0 {
+		panic("rng: NewHotspot(0)")
+	}
+	if hotSetFrac < 0 || hotSetFrac > 1 || hotOpnFrac < 0 || hotOpnFrac > 1 {
+		panic("rng: hotspot fractions must be in [0, 1]")
+	}
+	hotN := uint64(float64(n) * hotSetFrac)
+	if hotN == 0 {
+		hotN = 1
+	}
+	return &Hotspot{r: r, n: n, hotN: hotN, hotOpnFrac: hotOpnFrac}
+}
+
+// Next returns the next item index.
+func (h *Hotspot) Next() uint64 {
+	if h.r.Float64() < h.hotOpnFrac {
+		return h.r.Uint64n(h.hotN)
+	}
+	if h.hotN >= h.n {
+		return h.r.Uint64n(h.n)
+	}
+	return h.hotN + h.r.Uint64n(h.n-h.hotN)
+}
+
+// N returns the population size.
+func (h *Hotspot) N() uint64 { return h.n }
+
+// HotN returns the size of the hot set.
+func (h *Hotspot) HotN() uint64 { return h.hotN }

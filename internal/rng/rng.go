@@ -1,0 +1,118 @@
+// Package rng provides a small, fast, deterministic random-number generator
+// and the key-popularity distributions the workload models need: uniform,
+// Zipfian (YCSB-style, with the scrambled variant), and hotspot.
+//
+// The simulator needs determinism across runs for reproducible experiments,
+// so every generator is seeded explicitly and never touches global state.
+package rng
+
+// PCG is a 64-bit PCG-XSH-RR random number generator. The zero value is not
+// usable; construct with New.
+type PCG struct {
+	state uint64
+	inc   uint64
+}
+
+const pcgMult = 6364136223846793005
+
+// New returns a PCG seeded from seed, with a fixed stream.
+func New(seed uint64) *PCG {
+	return NewStream(seed, 0xda3e39cb94b95bdb)
+}
+
+// NewStream returns a PCG seeded from seed on the given stream. Distinct
+// streams yield independent sequences even with equal seeds.
+func NewStream(seed, stream uint64) *PCG {
+	p := &PCG{inc: stream<<1 | 1}
+	p.state = p.inc + seed
+	p.Uint64()
+	return p
+}
+
+// Uint64 returns the next 64 random bits.
+func (p *PCG) Uint64() uint64 {
+	// Two 32-bit PCG outputs glued together.
+	return uint64(p.next32())<<32 | uint64(p.next32())
+}
+
+func (p *PCG) next32() uint32 {
+	old := p.state
+	p.state = old*pcgMult + p.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return xorshifted>>rot | xorshifted<<((-rot)&31)
+}
+
+// Uint64n returns a uniform value in [0, n). Panics if n == 0.
+func (p *PCG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n(0)")
+	}
+	// Lemire's multiply-shift rejection method, 64-bit variant simplified:
+	// fall back to modulo bias rejection over the high bits.
+	mask := ^uint64(0)
+	if n&(n-1) == 0 { // power of two
+		return p.Uint64() & (n - 1)
+	}
+	limit := mask - mask%n
+	for {
+		v := p.Uint64()
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). Panics if n <= 0.
+func (p *PCG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(p.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (p *PCG) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability prob.
+func (p *PCG) Bool(prob float64) bool {
+	return p.Float64() < prob
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (p *PCG) Perm(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := p.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Sample returns k distinct uniform values from [0, n) in arbitrary order.
+// If k >= n it returns all of [0, n). Uses Floyd's algorithm: O(k) expected.
+func (p *PCG) Sample(n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		v := p.Intn(j + 1)
+		if _, dup := chosen[v]; dup {
+			v = j
+		}
+		chosen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

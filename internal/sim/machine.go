@@ -1,0 +1,447 @@
+// Package sim is the machine model: it composes the memory system, page
+// table, TLB, LLC, page-walk model, virtualization layer, BadgerTrap and the
+// migration engine into a single virtual-time simulator that workloads issue
+// memory accesses against.
+//
+// The simulator is closed-loop: each access is charged its full latency
+// (TLB, page walk, poison faults, cache, memory device) and the virtual
+// clock advances by that latency divided by the thread count, so throughput
+// degradation emerges from the latency model exactly as wall-clock slowdown
+// does on the paper's testbed.
+package sim
+
+import (
+	"fmt"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/badgertrap"
+	"thermostat/internal/cache"
+	"thermostat/internal/fault"
+	"thermostat/internal/mem"
+	"thermostat/internal/numa"
+	"thermostat/internal/pagetable"
+	"thermostat/internal/stats"
+	"thermostat/internal/tlb"
+	"thermostat/internal/vm"
+	"thermostat/internal/walk"
+)
+
+// SlowMemMode selects how accesses to the slow tier are costed.
+type SlowMemMode int
+
+// Slow-memory costing modes.
+const (
+	// EmulatedFault is the paper's methodology (§4.2): slow-tier data
+	// physically sits in DRAM-speed memory and the ~1us BadgerTrap poison
+	// fault on each TLB miss to a cold page provides the slow-memory
+	// latency. Accesses that hit a transient TLB entry see DRAM speed
+	// (the documented under-estimation); faults fire even for
+	// cache-resident lines (the documented over-estimation).
+	EmulatedFault SlowMemMode = iota
+	// Device charges the slow tier's device read/write latency on LLC
+	// misses, modeling real slow memory. Poison faults (when the policy
+	// poisons pages for monitoring) are charged separately.
+	Device
+)
+
+// String names the mode.
+func (m SlowMemMode) String() string {
+	switch m {
+	case EmulatedFault:
+		return "emulated-fault"
+	case Device:
+		return "device"
+	default:
+		return fmt.Sprintf("mode%d", int(m))
+	}
+}
+
+// Config assembles a machine.
+type Config struct {
+	// VM is the virtualization setup (default: nested, huge host pages).
+	VM vm.Config
+	// TLB sizes the translation caches.
+	TLB tlb.Config
+	// LLC sizes the last-level cache.
+	LLC cache.Config
+	// Walk parameterizes page-walk latency.
+	Walk walk.Config
+	// FastSpec and SlowSpec size the two memory tiers.
+	FastSpec, SlowSpec mem.Spec
+	// Mode selects slow-memory costing (default EmulatedFault).
+	Mode SlowMemMode
+	// Threads is the number of worker threads sharing the machine
+	// (default 8, the paper's medium cloud instance).
+	Threads int
+	// TLBHitNs, LLCHitNs are hit latencies (defaults 1, 30).
+	TLBHitNs int64
+	LLCHitNs int64
+	// FaultLatencyNs is the BadgerTrap poison-fault service time
+	// (default 1000, the paper's ~1us).
+	FaultLatencyNs int64
+	// VirtBase is where region allocation starts (default 16TB mark).
+	VirtBase addr.Virt
+}
+
+// DefaultConfig returns the paper's evaluated machine: KVM guest with huge
+// pages at both levels, 64/1024-entry TLBs, 45MB LLC, 8 threads, BadgerTrap
+// slow-memory emulation.
+func DefaultConfig(fastBytes, slowBytes uint64) Config {
+	return Config{
+		VM:       vm.DefaultConfig(),
+		TLB:      tlb.DefaultConfig(),
+		LLC:      cache.DefaultConfig(),
+		Walk:     walk.DefaultConfig(),
+		FastSpec: mem.DefaultDRAM(fastBytes),
+		SlowSpec: mem.DefaultSlow(slowBytes),
+		Mode:     EmulatedFault,
+		Threads:  8,
+	}
+}
+
+// Metrics is a snapshot of machine-level counters.
+type Metrics struct {
+	Accesses     uint64
+	SlowAccesses uint64
+	PoisonFaults uint64
+	TLB          tlb.Stats
+	LLC          cache.Stats
+	// AccessLatency aggregates per-access latency in nanoseconds.
+	AccessLatency *stats.Histogram
+	// ClockNs is the current virtual time.
+	ClockNs int64
+}
+
+// Machine is the composed simulator.
+type Machine struct {
+	cfg Config
+
+	sys   *mem.System
+	pt    *pagetable.Table
+	tl    *tlb.TLB
+	llc   *cache.Cache
+	wm    *walk.Model
+	guest *vm.VM
+	trap  *badgertrap.Trap
+	reg   *fault.Registry
+	mig   *numa.Migrator
+
+	clock int64
+	next  addr.Virt // bump pointer for region allocation
+
+	accesses     stats.Counter
+	slowAccesses stats.Counter
+	latHist      *stats.Histogram
+
+	// daemonNs accumulates policy CPU time (scans, sorting) which the
+	// paper runs on spare cores; it is tracked but not charged to the
+	// application's critical path.
+	daemonNs int64
+
+	// pageCounts, when enabled, records ground-truth memory accesses
+	// (LLC misses) per 2MB virtual page — Figure 2's y-axis, which no
+	// real x86 can observe but a simulator can.
+	pageCounts map[addr.Virt]uint64
+
+	// missHook, when set, observes every LLC miss and returns extra
+	// latency to charge the access — the attachment point for the §6.1
+	// hardware-assisted access counters (CM-bit, PEBS).
+	missHook func(v addr.Virt, write bool) int64
+}
+
+// New validates cfg and builds a machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 8
+	}
+	if cfg.TLBHitNs <= 0 {
+		cfg.TLBHitNs = 1
+	}
+	if cfg.LLCHitNs <= 0 {
+		cfg.LLCHitNs = 30
+	}
+	if cfg.FaultLatencyNs <= 0 {
+		cfg.FaultLatencyNs = badgertrap.DefaultFaultLatencyNs
+	}
+	if cfg.VirtBase == 0 {
+		cfg.VirtBase = addr.Virt(1) << 40
+	}
+	if cfg.VirtBase.Base2M() != cfg.VirtBase {
+		return nil, fmt.Errorf("sim: VirtBase %s not 2MB-aligned", cfg.VirtBase)
+	}
+	wm, err := walk.NewModel(cfg.Walk)
+	if err != nil {
+		return nil, err
+	}
+	vpid := tlb.VPID(1)
+	if cfg.VM.Mode == vm.Native {
+		vpid = tlb.HostVPID
+	}
+	guest, err := vm.New(cfg.VM, vpid)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:     cfg,
+		sys:     mem.NewSystem(cfg.FastSpec, cfg.SlowSpec),
+		pt:      pagetable.New(),
+		tl:      tlb.New(cfg.TLB),
+		llc:     cache.New(cfg.LLC),
+		wm:      wm,
+		guest:   guest,
+		next:    cfg.VirtBase,
+		latHist: stats.NewHistogram(),
+	}
+	m.trap = badgertrap.New(m.pt, m.tl, cfg.FaultLatencyNs)
+	m.reg = fault.NewRegistry()
+	m.reg.Register(fault.Poison, m.trap)
+	m.mig = numa.NewMigrator(m.sys, m.pt, m.tl, mem.NewMeter(0))
+	return m, nil
+}
+
+// Component accessors, used by policies and tests.
+
+// PageTable returns the guest page table.
+func (m *Machine) PageTable() *pagetable.Table { return m.pt }
+
+// TLB returns the translation caches.
+func (m *Machine) TLB() *tlb.TLB { return m.tl }
+
+// LLC returns the last-level cache model.
+func (m *Machine) LLC() *cache.Cache { return m.llc }
+
+// Memory returns the tiered memory system.
+func (m *Machine) Memory() *mem.System { return m.sys }
+
+// Trap returns the BadgerTrap instance.
+func (m *Machine) Trap() *badgertrap.Trap { return m.trap }
+
+// Migrator returns the page migration engine.
+func (m *Machine) Migrator() *numa.Migrator { return m.mig }
+
+// Guest returns the virtualization layer.
+func (m *Machine) Guest() *vm.VM { return m.guest }
+
+// VPID returns the guest's TLB tag.
+func (m *Machine) VPID() tlb.VPID { return m.guest.VPID() }
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Mode returns the slow-memory costing mode.
+func (m *Machine) Mode() SlowMemMode { return m.cfg.Mode }
+
+// Clock returns the virtual time in nanoseconds.
+func (m *Machine) Clock() int64 { return m.clock }
+
+// AdvanceClock adds application compute time (divided across threads).
+func (m *Machine) AdvanceClock(ns int64) {
+	m.clock += ns / int64(m.cfg.Threads)
+}
+
+// ChargeDaemon accounts policy CPU time off the application critical path.
+func (m *Machine) ChargeDaemon(ns int64) { m.daemonNs += ns }
+
+// DaemonNs returns accumulated policy CPU time.
+func (m *Machine) DaemonNs() int64 { return m.daemonNs }
+
+// AllocRegion maps size bytes (rounded up to whole pages) of fresh virtual
+// address space backed by the fast tier. With huge=true the region is backed
+// by 2MB THP mappings; otherwise by 4KB mappings (THP disabled, or
+// page-cache pages without hugetmpfs).
+func (m *Machine) AllocRegion(size uint64, huge bool) (addr.Range, error) {
+	if size == 0 {
+		return addr.Range{}, fmt.Errorf("sim: AllocRegion of zero size")
+	}
+	// Round the region itself to 2MB so the bump pointer stays aligned.
+	rounded := (size + addr.PageSize2M - 1) / addr.PageSize2M * addr.PageSize2M
+	start := m.next
+	r := addr.NewRange(start, size)
+	fast := m.sys.Tier(mem.Fast)
+	if huge {
+		for v := start; v < start+addr.Virt(rounded); v += addr.Virt(addr.PageSize2M) {
+			p, err := fast.Alloc2M()
+			if err != nil {
+				return addr.Range{}, fmt.Errorf("sim: AllocRegion: %w", err)
+			}
+			if err := m.pt.Map2M(v, p, pagetable.Writable); err != nil {
+				return addr.Range{}, err
+			}
+		}
+	} else {
+		nPages := (size + addr.PageSize4K - 1) / addr.PageSize4K
+		for i := uint64(0); i < nPages; i++ {
+			v := start + addr.Virt(i*addr.PageSize4K)
+			p, err := fast.Alloc4K()
+			if err != nil {
+				return addr.Range{}, fmt.Errorf("sim: AllocRegion: %w", err)
+			}
+			if err := m.pt.Map4K(v, p, pagetable.Writable); err != nil {
+				return addr.Range{}, err
+			}
+		}
+	}
+	m.next = start + addr.Virt(rounded)
+	return r, nil
+}
+
+// Demote moves the 2MB region containing v to the slow tier and arms
+// PMD-grain poisoning on it. The poison serves double duty: in EmulatedFault
+// mode it is the slow-memory emulation itself (each TLB miss to the page
+// costs a ~1us fault, per the paper's methodology), and in both modes its
+// fault counts are the §3.5 access monitoring policies read. Returns the
+// migration cost in nanoseconds.
+func (m *Machine) Demote(v addr.Virt) (int64, error) {
+	cost, err := m.mig.MoveHuge(v, mem.Slow, m.VPID(), mem.Demotion)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.trap.Poison(v.Base2M(), m.VPID()); err != nil {
+		return 0, err
+	}
+	return cost, nil
+}
+
+// Promote moves the 2MB region containing v back to the fast tier and
+// disarms its poison. Returns the migration cost in nanoseconds.
+func (m *Machine) Promote(v addr.Virt) (int64, error) {
+	base := v.Base2M()
+	if m.trap.IsPoisoned(base) {
+		if err := m.trap.Unpoison(base); err != nil {
+			return 0, err
+		}
+	}
+	return m.mig.MoveHuge(base, mem.Fast, m.VPID(), mem.Promotion)
+}
+
+// Access simulates one memory access to v, charging the full latency path
+// and advancing the virtual clock by latency/threads. Returns the modeled
+// latency of this access.
+func (m *Machine) Access(v addr.Virt, write bool) (int64, error) {
+	var lat int64
+	var frame addr.Phys
+	var lvl pagetable.Level
+
+	vpid := m.guest.VPID()
+	if res, ok := m.tl.Lookup(v, vpid); ok {
+		lat += m.cfg.TLBHitNs
+		frame, lvl = res.Frame, res.Level
+	} else {
+		// Hardware page walk.
+		wr := m.pt.Walk(v, write)
+		if !wr.Found {
+			return 0, fmt.Errorf("sim: access to unmapped %s", v)
+		}
+		lat += m.wm.Latency(m.guest.Nested(), wr.Depth, m.guest.HostWalkDepth())
+		if wr.Poisoned {
+			// Protection fault: BadgerTrap services it (counts the
+			// access, installs a transient translation, re-poisons).
+			fl, err := m.reg.Dispatch(fault.Fault{
+				Kind: fault.Poison, Virt: v, Write: write,
+				VPID: vpid, TimeNs: m.clock,
+			})
+			if err != nil {
+				return 0, err
+			}
+			lat += fl + m.guest.FaultOverheadNs()
+			res, ok := m.tl.Lookup(v, vpid)
+			if !ok {
+				return 0, fmt.Errorf("sim: fault handler left %s untranslated", v)
+			}
+			frame, lvl = res.Frame, res.Level
+		} else {
+			frame, lvl = wr.Entry.Frame, wr.Level
+			m.tl.Insert(v, lvl, frame, vpid)
+		}
+	}
+
+	// Physical address of the accessed byte.
+	var pa addr.Phys
+	if lvl == pagetable.Level2M {
+		pa = frame + addr.Phys(v.Offset2M())
+	} else {
+		pa = frame + addr.Phys(v.Offset4K())
+	}
+	tier := mem.TierOf(pa)
+	if tier == mem.Slow {
+		m.slowAccesses.Inc()
+	}
+
+	// Cache hierarchy and memory device.
+	if m.llc.Access(pa) {
+		lat += m.cfg.LLCHitNs
+	} else {
+		if m.pageCounts != nil {
+			m.pageCounts[v.Base2M()]++
+		}
+		if m.missHook != nil {
+			lat += m.missHook(v, write)
+		}
+		switch {
+		case m.cfg.Mode == EmulatedFault && tier == mem.Slow:
+			// Paper methodology: data physically in DRAM; the poison
+			// fault above supplied the emulated slow latency. Charge
+			// DRAM device time for the actual fill.
+			lat += m.sys.Tier(mem.Fast).Spec().ReadLatency
+		case write:
+			lat += m.sys.Tier(tier).Spec().WriteLatency
+		default:
+			lat += m.sys.Tier(tier).Spec().ReadLatency
+		}
+	}
+
+	m.accesses.Inc()
+	m.latHist.Observe(uint64(lat))
+	m.clock += lat / int64(m.cfg.Threads)
+	return lat, nil
+}
+
+// SetMissHook installs an observer invoked on every LLC miss; its return
+// value is added to the access latency. Pass nil to remove. Used by the
+// §6.1 hardware-assisted access-counting models.
+func (m *Machine) SetMissHook(h func(v addr.Virt, write bool) int64) {
+	m.missHook = h
+}
+
+// EnablePageCounts turns on ground-truth per-2MB-page memory access (LLC
+// miss) counting. This is simulator-only instrumentation: the paper's
+// motivation is precisely that real x86 hardware cannot observe this.
+func (m *Machine) EnablePageCounts() {
+	if m.pageCounts == nil {
+		m.pageCounts = make(map[addr.Virt]uint64)
+	}
+}
+
+// PageCounts returns a copy of the ground-truth per-2MB-page access counts
+// since EnablePageCounts (nil if disabled).
+func (m *Machine) PageCounts() map[addr.Virt]uint64 {
+	if m.pageCounts == nil {
+		return nil
+	}
+	out := make(map[addr.Virt]uint64, len(m.pageCounts))
+	for k, v := range m.pageCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetPageCounts clears the ground-truth counters (keeps counting enabled).
+func (m *Machine) ResetPageCounts() {
+	if m.pageCounts != nil {
+		m.pageCounts = make(map[addr.Virt]uint64)
+	}
+}
+
+// Metrics returns a snapshot of the machine counters. The histogram is the
+// live aggregation; callers must not mutate it.
+func (m *Machine) Metrics() Metrics {
+	return Metrics{
+		Accesses:      m.accesses.Value(),
+		SlowAccesses:  m.slowAccesses.Value(),
+		PoisonFaults:  m.trap.TotalFaults(),
+		TLB:           m.tl.Stats(),
+		LLC:           m.llc.Stats(),
+		AccessLatency: m.latHist,
+		ClockNs:       m.clock,
+	}
+}

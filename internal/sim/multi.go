@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+
+	"thermostat/internal/stats"
+)
+
+// Tenant pairs one application with its own placement policy — the
+// multi-tenant deployment the paper targets: a host managing several
+// customers' cgroups independently on shared hardware.
+type Tenant struct {
+	App    App
+	Policy Policy
+	// Share is the tenant's relative CPU share (ops are interleaved in
+	// this proportion); 0 means 1.
+	Share int
+}
+
+// TenantResult is one tenant's outcome.
+type TenantResult struct {
+	AppName    string
+	PolicyName string
+	Ops        uint64
+	Throughput float64
+	// Footprint is the tenant's final hot/cold classification (scoped to
+	// its own policy's view).
+	Footprint Footprint
+	// SlowRate and footprint series, sampled per window like Run's.
+	Cold, Hot *stats.Series
+}
+
+// MultiResult is the outcome of a RunMulti.
+type MultiResult struct {
+	Tenants    []TenantResult
+	DurationNs int64
+}
+
+// RunMulti drives several tenants on one shared machine: one TLB, one LLC,
+// one pair of memory tiers — so tenants contend for translation and cache
+// reach exactly as co-located VMs do. Each tenant's policy ticks at its own
+// interval and sees only its own pages (policies should be scoped; see
+// core.Engine.SetScope).
+func RunMulti(m *Machine, tenants []Tenant, rc RunConfig) (*MultiResult, error) {
+	if rc.DurationNs <= 0 {
+		return nil, fmt.Errorf("sim: non-positive duration %d", rc.DurationNs)
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("sim: no tenants")
+	}
+	type state struct {
+		t        Tenant
+		ops      uint64
+		nextTick int64
+		share    int
+	}
+	states := make([]*state, len(tenants))
+	for i, t := range tenants {
+		if err := t.App.Init(m); err != nil {
+			return nil, fmt.Errorf("sim: init %s: %w", t.App.Name(), err)
+		}
+		share := t.Share
+		if share <= 0 {
+			share = 1
+		}
+		states[i] = &state{t: t, share: share}
+	}
+	// Attach after all inits so scoped policies see final base layouts.
+	for _, s := range states {
+		if err := s.t.Policy.Attach(m); err != nil {
+			return nil, fmt.Errorf("sim: attach %s: %w", s.t.Policy.Name(), err)
+		}
+		interval := s.t.Policy.IntervalNs()
+		if interval <= 0 {
+			return nil, fmt.Errorf("sim: policy %s has non-positive interval", s.t.Policy.Name())
+		}
+		s.nextTick = m.Clock() + interval
+	}
+
+	window := rc.WindowNs
+	if window <= 0 {
+		window = states[0].t.Policy.IntervalNs()
+	}
+	res := &MultiResult{Tenants: make([]TenantResult, len(tenants))}
+	series := make([]struct{ cold, hot *stats.Series }, len(tenants))
+	for i, t := range tenants {
+		series[i].cold = stats.NewSeries("cold_" + t.App.Name())
+		series[i].hot = stats.NewSeries("hot_" + t.App.Name())
+	}
+
+	start := m.Clock()
+	end := start + rc.DurationNs
+	nextWindow := start + window
+	var totalOps uint64
+
+	for m.Clock() < end {
+		if rc.MaxOps > 0 && totalOps >= rc.MaxOps {
+			break
+		}
+		for _, s := range states {
+			for k := 0; k < s.share; k++ {
+				v, write := s.t.App.Next()
+				if _, err := m.Access(v, write); err != nil {
+					return nil, fmt.Errorf("sim: %s op %d: %w", s.t.App.Name(), s.ops, err)
+				}
+				if c := s.t.App.ComputeNs(); c > 0 {
+					m.AdvanceClock(c)
+				}
+				s.ops++
+				totalOps++
+			}
+			now := m.Clock()
+			for now >= s.nextTick {
+				if err := s.t.App.Tick(m, now); err != nil {
+					return nil, err
+				}
+				if err := s.t.Policy.Tick(m, now); err != nil {
+					return nil, err
+				}
+				s.nextTick += s.t.Policy.IntervalNs()
+			}
+		}
+		if now := m.Clock(); now >= nextWindow {
+			for i, s := range states {
+				fp := s.t.Policy.Footprint(m)
+				series[i].cold.Append(nextWindow-start, float64(fp.Cold()))
+				series[i].hot.Append(nextWindow-start, float64(fp.Hot2M+fp.Hot4K))
+			}
+			nextWindow += window
+		}
+	}
+
+	res.DurationNs = m.Clock() - start
+	for i, s := range states {
+		res.Tenants[i] = TenantResult{
+			AppName:    s.t.App.Name(),
+			PolicyName: s.t.Policy.Name(),
+			Ops:        s.ops,
+			Throughput: stats.Rate(s.ops, res.DurationNs),
+			Footprint:  s.t.Policy.Footprint(m),
+			Cold:       series[i].cold,
+			Hot:        series[i].hot,
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"thermostat/internal/rng"
+)
+
+func TestRunMultiValidation(t *testing.T) {
+	m := newMachine(t)
+	if _, err := RunMulti(m, nil, RunConfig{DurationNs: 1e9}); err == nil {
+		t.Fatal("no tenants accepted")
+	}
+	app := &uniformApp{name: "u", size: 2 << 20, huge: true, r: rng.New(1), compute: 500}
+	if _, err := RunMulti(m, []Tenant{{App: app, Policy: NullPolicy{}}}, RunConfig{}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestRunMultiSharesAndIsolation(t *testing.T) {
+	m := newMachine(t)
+	a := &uniformApp{name: "a", size: 4 << 20, huge: true, r: rng.New(1), compute: 1000}
+	b := &uniformApp{name: "b", size: 4 << 20, huge: true, r: rng.New(2), compute: 1000}
+	res, err := RunMulti(m, []Tenant{
+		{App: a, Policy: NullPolicy{Interval: 1e8}, Share: 3},
+		{App: b, Policy: NullPolicy{Interval: 1e8}, Share: 1},
+	}, RunConfig{DurationNs: 1e9, WindowNs: 1e8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 2 {
+		t.Fatalf("tenants = %d", len(res.Tenants))
+	}
+	ra, rb := res.Tenants[0], res.Tenants[1]
+	if ra.AppName != "a" || rb.AppName != "b" {
+		t.Fatal("tenant order lost")
+	}
+	// 3:1 shares: tenant a does ~3x the ops.
+	ratio := float64(ra.Ops) / float64(rb.Ops)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("ops ratio = %v, want ~3", ratio)
+	}
+	// Ticks fired for both apps.
+	if a.ticks == 0 || b.ticks == 0 {
+		t.Fatal("app ticks not delivered")
+	}
+	// Footprint series recorded.
+	if ra.Cold.Len() == 0 || rb.Hot.Len() == 0 {
+		t.Fatal("series not sampled")
+	}
+	// Machine invariants hold with both tenants mapped.
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiRespectsMaxOps(t *testing.T) {
+	m := newMachine(t)
+	a := &uniformApp{name: "a", size: 2 << 20, huge: true, r: rng.New(3), compute: 100}
+	res, err := RunMulti(m, []Tenant{{App: a, Policy: NullPolicy{Interval: 1e8}}},
+		RunConfig{DurationNs: 1e12, MaxOps: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tenants[0].Ops != 500 {
+		t.Fatalf("ops = %d", res.Tenants[0].Ops)
+	}
+}
+
+func TestStackBasics(t *testing.T) {
+	m := newMachine(t)
+	if err := (&Stack{}).Attach(m); err == nil {
+		t.Fatal("empty stack accepted")
+	}
+	a := &errPolicy{failAt: 1 << 30}
+	st := &Stack{Policies: []Policy{NullPolicy{Interval: 3e8}, a}}
+	if st.Name() != "all-dram+all-dram" {
+		t.Fatalf("name = %q", st.Name())
+	}
+	// Interval is the minimum of members (errPolicy ticks at 1e8).
+	if st.IntervalNs() != 1e8 {
+		t.Fatalf("interval = %d", st.IntervalNs())
+	}
+	if err := st.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	// Three stack ticks at 1e8 spacing: the 3e8-interval member fires once,
+	// the 1e8 member three times.
+	for i := int64(1); i <= 3; i++ {
+		if err := st.Tick(m, i*1e8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.ticks != 3 {
+		t.Fatalf("fast member ticked %d times, want 3", a.ticks)
+	}
+	// Footprint delegates to the first member.
+	if _, err := m.AllocRegion(2<<20, true); err != nil {
+		t.Fatal(err)
+	}
+	if st.Footprint(m).Hot2M != 2<<20 {
+		t.Fatal("footprint not delegated")
+	}
+}

@@ -1,0 +1,383 @@
+package sim
+
+import (
+	"fmt"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/mem"
+	"thermostat/internal/pagetable"
+	"thermostat/internal/stats"
+)
+
+// App is a workload model: it allocates its footprint on Init and then
+// produces an access stream. Apps are closed-loop: the runner issues the
+// next access as soon as the previous completes.
+type App interface {
+	// Name identifies the application.
+	Name() string
+	// Init allocates and maps the app's memory on the machine.
+	Init(m *Machine) error
+	// Next returns the next access: virtual address and whether it is a
+	// store.
+	Next() (v addr.Virt, write bool)
+	// ComputeNs is the fixed computation time between accesses (per op).
+	ComputeNs() int64
+	// Tick runs app phase behaviour (footprint growth, phase changes) and
+	// is called at every policy interval boundary.
+	Tick(m *Machine, nowNs int64) error
+}
+
+// Footprint classifies the app's mapped bytes for the paper's
+// footprint-over-time figures.
+type Footprint struct {
+	Hot2M  uint64
+	Hot4K  uint64
+	Cold2M uint64
+	Cold4K uint64
+}
+
+// Total returns all mapped bytes.
+func (f Footprint) Total() uint64 { return f.Hot2M + f.Hot4K + f.Cold2M + f.Cold4K }
+
+// Cold returns cold (slow-tier) bytes.
+func (f Footprint) Cold() uint64 { return f.Cold2M + f.Cold4K }
+
+// ColdFraction returns cold/total (0 when empty).
+func (f Footprint) ColdFraction() float64 {
+	t := f.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(f.Cold()) / float64(t)
+}
+
+// Policy is a page-placement policy driven at a fixed interval.
+type Policy interface {
+	// Name identifies the policy.
+	Name() string
+	// Attach binds the policy to a machine after the app is initialized.
+	Attach(m *Machine) error
+	// IntervalNs is the policy's tick period (the scan interval).
+	IntervalNs() int64
+	// Tick runs one policy interval (sample, classify, migrate).
+	Tick(m *Machine, nowNs int64) error
+	// Footprint reports the current hot/cold classification.
+	Footprint(m *Machine) Footprint
+}
+
+// NullPolicy leaves everything in fast memory: the all-DRAM baseline.
+type NullPolicy struct {
+	// Interval controls tick cadence (only observable in footprint
+	// sampling); defaults to 1s.
+	Interval int64
+}
+
+// Name implements Policy.
+func (NullPolicy) Name() string { return "all-dram" }
+
+// Attach implements Policy.
+func (NullPolicy) Attach(*Machine) error { return nil }
+
+// IntervalNs implements Policy.
+func (p NullPolicy) IntervalNs() int64 {
+	if p.Interval > 0 {
+		return p.Interval
+	}
+	return 1e9
+}
+
+// Tick implements Policy.
+func (NullPolicy) Tick(*Machine, int64) error { return nil }
+
+// Footprint implements Policy: everything mapped is hot.
+func (NullPolicy) Footprint(m *Machine) Footprint {
+	pt := m.PageTable()
+	return Footprint{
+		Hot2M: uint64(pt.Count2M()) * addr.PageSize2M,
+		Hot4K: uint64(pt.Count4K()) * addr.PageSize4K,
+	}
+}
+
+// Stack composes several policies into one: each member ticks at its own
+// interval (the stack's interval is their gcd-like minimum), and the first
+// member provides the footprint classification. Use it to run a placement
+// policy together with background daemons (e.g. Thermostat + khugepaged).
+type Stack struct {
+	Policies []Policy
+
+	next []int64
+}
+
+// Name implements Policy.
+func (s *Stack) Name() string {
+	names := ""
+	for i, p := range s.Policies {
+		if i > 0 {
+			names += "+"
+		}
+		names += p.Name()
+	}
+	return names
+}
+
+// IntervalNs implements Policy: the smallest member interval.
+func (s *Stack) IntervalNs() int64 {
+	min := int64(0)
+	for _, p := range s.Policies {
+		if iv := p.IntervalNs(); min == 0 || iv < min {
+			min = iv
+		}
+	}
+	return min
+}
+
+// Attach implements Policy.
+func (s *Stack) Attach(m *Machine) error {
+	if len(s.Policies) == 0 {
+		return fmt.Errorf("sim: empty policy stack")
+	}
+	s.next = make([]int64, len(s.Policies))
+	for i, p := range s.Policies {
+		if err := p.Attach(m); err != nil {
+			return err
+		}
+		s.next[i] = m.Clock() + p.IntervalNs()
+	}
+	return nil
+}
+
+// Tick implements Policy: runs each member whose own interval has elapsed.
+func (s *Stack) Tick(m *Machine, now int64) error {
+	for i, p := range s.Policies {
+		for now >= s.next[i] {
+			if err := p.Tick(m, now); err != nil {
+				return err
+			}
+			s.next[i] += p.IntervalNs()
+		}
+	}
+	return nil
+}
+
+// Footprint implements Policy: the first member's classification.
+func (s *Stack) Footprint(m *Machine) Footprint {
+	return s.Policies[0].Footprint(m)
+}
+
+// RunConfig controls a simulation run.
+type RunConfig struct {
+	// DurationNs is the virtual run length.
+	DurationNs int64
+	// WindowNs is the metric sampling window (default: policy interval).
+	WindowNs int64
+	// WarmupNs excludes an initial span from summary statistics
+	// (series still record it).
+	WarmupNs int64
+	// MaxOps bounds total simulated accesses as a safety valve
+	// (0 = unlimited).
+	MaxOps uint64
+	// OpsPerRequest groups consecutive ops into requests and records
+	// request latencies, enabling tail-latency comparisons (the paper
+	// reports 95th/99th percentile read/write latencies). 0 disables.
+	OpsPerRequest int
+}
+
+// RunResult captures everything the experiment harness needs.
+type RunResult struct {
+	AppName    string
+	PolicyName string
+
+	Ops        uint64
+	DurationNs int64
+	// Throughput is ops per virtual second over the post-warmup span.
+	Throughput float64
+
+	// SlowRate is the slow-memory access rate (accesses/sec) per window —
+	// Figure 3's series.
+	SlowRate *stats.Series
+	// Cold2M, Cold4K, Hot2M, Hot4K are footprint bytes per window —
+	// Figures 5-10's series.
+	Cold2M, Cold4K, Hot2M, Hot4K *stats.Series
+
+	// FinalFootprint is the classification at run end.
+	FinalFootprint Footprint
+	// Metrics is the machine counter snapshot at run end.
+	Metrics Metrics
+	// RequestLatency aggregates per-request latencies when
+	// RunConfig.OpsPerRequest > 0 (for p95/p99 comparisons); nil
+	// otherwise.
+	RequestLatency *stats.Histogram
+}
+
+// MeanColdFraction averages cold/total over windows after fromNs.
+func (r *RunResult) MeanColdFraction(fromNs int64) float64 {
+	var fracs []float64
+	for i := range r.Cold2M.Values {
+		if r.Cold2M.Times[i] < fromNs {
+			continue
+		}
+		total := r.Cold2M.Values[i] + r.Cold4K.Values[i] + r.Hot2M.Values[i] + r.Hot4K.Values[i]
+		if total > 0 {
+			fracs = append(fracs, (r.Cold2M.Values[i]+r.Cold4K.Values[i])/total)
+		}
+	}
+	if len(fracs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, f := range fracs {
+		sum += f
+	}
+	return sum / float64(len(fracs))
+}
+
+// Run executes app under pol on m for the configured duration. The app must
+// not have been initialized already.
+func Run(m *Machine, app App, pol Policy, rc RunConfig) (*RunResult, error) {
+	if rc.DurationNs <= 0 {
+		return nil, fmt.Errorf("sim: non-positive duration %d", rc.DurationNs)
+	}
+	if err := app.Init(m); err != nil {
+		return nil, fmt.Errorf("sim: init %s: %w", app.Name(), err)
+	}
+	if err := pol.Attach(m); err != nil {
+		return nil, fmt.Errorf("sim: attach %s: %w", pol.Name(), err)
+	}
+	interval := pol.IntervalNs()
+	if interval <= 0 {
+		return nil, fmt.Errorf("sim: policy %s has non-positive interval", pol.Name())
+	}
+	window := rc.WindowNs
+	if window <= 0 {
+		window = interval
+	}
+
+	res := &RunResult{
+		AppName:    app.Name(),
+		PolicyName: pol.Name(),
+		SlowRate:   stats.NewSeries("slow-access-rate"),
+		Cold2M:     stats.NewSeries("cold-2M-bytes"),
+		Cold4K:     stats.NewSeries("cold-4K-bytes"),
+		Hot2M:      stats.NewSeries("hot-2M-bytes"),
+		Hot4K:      stats.NewSeries("hot-4K-bytes"),
+	}
+
+	if rc.OpsPerRequest > 0 {
+		res.RequestLatency = stats.NewHistogram()
+	}
+
+	start := m.Clock()
+	end := start + rc.DurationNs
+	nextTick := start + interval
+	nextWindow := start + window
+	var windowStartSlow uint64
+	var warmupOps uint64
+	warmupClock := start + rc.WarmupNs
+	var reqLat int64
+	var reqOps int
+
+	for m.Clock() < end {
+		if rc.MaxOps > 0 && res.Ops >= rc.MaxOps {
+			break
+		}
+		v, write := app.Next()
+		lat, err := m.Access(v, write)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s op %d: %w", app.Name(), res.Ops, err)
+		}
+		if c := app.ComputeNs(); c > 0 {
+			m.AdvanceClock(c)
+		}
+		if rc.OpsPerRequest > 0 {
+			reqLat += lat + app.ComputeNs()
+			reqOps++
+			if reqOps >= rc.OpsPerRequest {
+				if m.Clock() >= warmupClock {
+					res.RequestLatency.Observe(uint64(reqLat))
+				}
+				reqLat, reqOps = 0, 0
+			}
+		}
+		res.Ops++
+		if rc.WarmupNs > 0 && m.Clock() <= warmupClock {
+			warmupOps = res.Ops
+		}
+
+		now := m.Clock()
+		for now >= nextWindow {
+			slow := m.Metrics().SlowAccesses
+			rate := stats.Rate(slow-windowStartSlow, window)
+			res.SlowRate.Append(nextWindow-start, rate)
+			windowStartSlow = slow
+			fp := pol.Footprint(m)
+			res.Cold2M.Append(nextWindow-start, float64(fp.Cold2M))
+			res.Cold4K.Append(nextWindow-start, float64(fp.Cold4K))
+			res.Hot2M.Append(nextWindow-start, float64(fp.Hot2M))
+			res.Hot4K.Append(nextWindow-start, float64(fp.Hot4K))
+			nextWindow += window
+		}
+		for now >= nextTick {
+			if err := app.Tick(m, now); err != nil {
+				return nil, fmt.Errorf("sim: %s tick: %w", app.Name(), err)
+			}
+			if err := pol.Tick(m, now); err != nil {
+				return nil, fmt.Errorf("sim: %s tick: %w", pol.Name(), err)
+			}
+			nextTick += interval
+		}
+	}
+
+	res.DurationNs = m.Clock() - start
+	span := res.DurationNs - rc.WarmupNs
+	if span <= 0 {
+		span = res.DurationNs
+		warmupOps = 0
+	}
+	res.Throughput = stats.Rate(res.Ops-warmupOps, span)
+	res.FinalFootprint = pol.Footprint(m)
+	res.Metrics = m.Metrics()
+	return res, nil
+}
+
+// Slowdown compares a policy run against a baseline run of the same app:
+// (baseline throughput / policy throughput) - 1, e.g. 0.03 for a 3%
+// degradation.
+func Slowdown(baseline, policy *RunResult) float64 {
+	if policy.Throughput == 0 {
+		return 0
+	}
+	return baseline.Throughput/policy.Throughput - 1
+}
+
+// ScanFootprint classifies every mapped leaf by backing tier and grain,
+// optionally restricted to the given address ranges (nil = whole table).
+// Policies use it to implement Footprint.
+func ScanFootprint(m *Machine, ranges []addr.Range) Footprint {
+	var fp Footprint
+	m.PageTable().Scan(func(base addr.Virt, e *pagetable.Entry, lvl pagetable.Level) {
+		if ranges != nil {
+			in := false
+			for _, r := range ranges {
+				if r.Contains(base) {
+					in = true
+					break
+				}
+			}
+			if !in {
+				return
+			}
+		}
+		slow := mem.TierOf(e.Frame) == mem.Slow
+		switch {
+		case lvl == pagetable.Level2M && slow:
+			fp.Cold2M += addr.PageSize2M
+		case lvl == pagetable.Level2M:
+			fp.Hot2M += addr.PageSize2M
+		case slow:
+			fp.Cold4K += addr.PageSize4K
+		default:
+			fp.Hot4K += addr.PageSize4K
+		}
+	})
+	return fp
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"thermostat/internal/rng"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("Value = %d, want 42", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset did not zero")
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(30000, 1e9); got != 30000 {
+		t.Errorf("Rate(30000, 1s) = %v", got)
+	}
+	if got := Rate(100, 0); got != 0 {
+		t.Errorf("Rate with zero duration = %v, want 0", got)
+	}
+	if got := Rate(10, 2e9); got != 5 {
+		t.Errorf("Rate(10, 2s) = %v, want 5", got)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Set() {
+		t.Fatal("fresh EWMA reports Set")
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("first observation should seed: %v", e.Value())
+	}
+	e.Observe(20)
+	if e.Value() != 15 {
+		t.Fatalf("EWMA = %v, want 15", e.Value())
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for alpha=0")
+		}
+	}()
+	NewEWMA(0)
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram should return zeros")
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-500.5) > 0.01 {
+		t.Fatalf("Mean = %v", m)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 400 || p50 > 600 {
+		t.Fatalf("p50 = %d, want ~500", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900 || p99 > 1000 {
+		t.Fatalf("p99 = %d, want ~990", p99)
+	}
+}
+
+func TestHistogramQuantileAccuracyProperty(t *testing.T) {
+	// Quantiles must be within one log-bucket (~6%) of the true value for a
+	// uniform sample.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		h := NewHistogram()
+		const n = 5000
+		for i := 0; i < n; i++ {
+			h.Observe(r.Uint64n(1 << 20))
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			got := float64(h.Quantile(q))
+			want := q * float64(1<<20)
+			if math.Abs(got-want) > 0.10*float64(1<<20) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := uint64(0); i < 100; i++ {
+		a.Observe(i)
+		b.Observe(i + 100)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 199 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	// Merging an empty histogram is a no-op.
+	before := a.Count()
+	a.Merge(NewHistogram())
+	if a.Count() != before {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(math.MaxUint64)
+	if h.Min() != 0 || h.Max() != math.MaxUint64 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if h.Quantile(0) != 0 {
+		t.Fatal("q0 should be min")
+	}
+	if h.Quantile(1) != math.MaxUint64 {
+		t.Fatal("q1 should be max")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("cold")
+	if s.Last() != 0 || s.Mean() != 0 {
+		t.Fatal("empty series should return zeros")
+	}
+	s.Append(0, 1)
+	s.Append(1e9, 3)
+	s.Append(2e9, 5)
+	if s.Len() != 3 || s.Last() != 5 {
+		t.Fatalf("Len/Last = %d/%v", s.Len(), s.Last())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Max() != 5 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	if got := s.MeanAfter(1e9); got != 4 {
+		t.Fatalf("MeanAfter = %v, want 4", got)
+	}
+	if got := s.MeanAfter(3e9); got != 0 {
+		t.Fatalf("MeanAfter past end = %v, want 0", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPos := []float64{2, 4, 6, 8, 10}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(x, yPos); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect positive r = %v", r)
+	}
+	if r := Pearson(x, yNeg); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect negative r = %v", r)
+	}
+	if r := Pearson(x, []float64{3, 3, 3, 3, 3}); r != 0 {
+		t.Fatalf("zero-variance r = %v, want 0", r)
+	}
+	if r := Pearson(x, []float64{1}); r != 0 {
+		t.Fatalf("mismatched lengths r = %v, want 0", r)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(s, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(s, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(s, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	// Input must not be reordered.
+	if s[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestBucketMonotonicProperty(t *testing.T) {
+	// bucketLow(bucketOf(v)) <= v for all v, and buckets are ordered.
+	f := func(v uint64) bool {
+		b, s := bucketOf(v)
+		return bucketLow(b, s) <= v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

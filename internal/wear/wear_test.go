@@ -1,0 +1,171 @@
+package wear
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thermostat/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 0, false, 0); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	s, err := New(16, 0, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Frames() != 16 || s.Slots() != 17 {
+		t.Fatalf("frames/slots = %d/%d", s.Frames(), s.Slots())
+	}
+}
+
+func TestMapInjective(t *testing.T) {
+	for _, randomize := range []bool{false, true} {
+		s, err := New(64, 5, randomize, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Injectivity must hold at every wear-leveling state.
+		for step := 0; step < 400; step++ {
+			seen := map[uint64]bool{}
+			for l := uint64(0); l < 64; l++ {
+				p := s.Map(l)
+				if p >= s.Slots() {
+					t.Fatalf("slot %d out of range", p)
+				}
+				if seen[p] {
+					t.Fatalf("collision at step %d (randomize=%v)", step, randomize)
+				}
+				seen[p] = true
+			}
+			s.OnWrite()
+		}
+	}
+}
+
+func TestMapOutOfRangePanics(t *testing.T) {
+	s, _ := New(8, 0, false, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.Map(8)
+}
+
+func TestGapRotationCoversAllSlots(t *testing.T) {
+	s, err := New(8, 1, false, 0) // move every write
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		// The gap is the one slot no logical frame maps to.
+		used := map[uint64]bool{}
+		for l := uint64(0); l < 8; l++ {
+			used[s.Map(l)] = true
+		}
+		for slot := uint64(0); slot < s.Slots(); slot++ {
+			if !used[slot] {
+				gaps[slot] = true
+			}
+		}
+		s.OnWrite()
+	}
+	if len(gaps) != int(s.Slots()) {
+		t.Fatalf("gap visited %d slots, want %d", len(gaps), s.Slots())
+	}
+}
+
+func TestMoveOverheadRatio(t *testing.T) {
+	s, _ := New(32, 100, false, 0)
+	for i := 0; i < 100000; i++ {
+		s.OnWrite()
+	}
+	ratio := float64(s.Moves()) / float64(s.TotalWrites())
+	if ratio < 0.009 || ratio > 0.011 {
+		t.Fatalf("move overhead = %v, want ~1%%", ratio)
+	}
+}
+
+func TestWearFlattening(t *testing.T) {
+	// Skewed write traffic: 90% of writes to one logical frame. Without
+	// leveling the hot slot takes ~90% of wear; with Start-Gap the wear
+	// spreads as rotations complete.
+	const n = 32
+	const writes = 400000
+	r := rng.New(1)
+
+	noLevel := NewMeter(n + 1)
+	for i := 0; i < writes; i++ {
+		l := uint64(0)
+		if r.Bool(0.1) {
+			l = r.Uint64n(n)
+		}
+		noLevel.Record(l) // identity mapping
+	}
+
+	s, err := New(n, 10, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leveled := NewMeter(s.Slots())
+	r = rng.New(1)
+	for i := 0; i < writes; i++ {
+		l := uint64(0)
+		if r.Bool(0.1) {
+			l = r.Uint64n(n)
+		}
+		leveled.Record(s.Map(l))
+		s.OnWrite()
+	}
+
+	if noLevel.MaxOverMean() < 10 {
+		t.Fatalf("unleveled wear unexpectedly flat: %v", noLevel.MaxOverMean())
+	}
+	if leveled.MaxOverMean() > noLevel.MaxOverMean()/5 {
+		t.Fatalf("leveling too weak: %v vs %v",
+			leveled.MaxOverMean(), noLevel.MaxOverMean())
+	}
+	if leveled.Lifetime() < 5*noLevel.Lifetime() {
+		t.Fatalf("lifetime gain too small: %v vs %v",
+			leveled.Lifetime(), noLevel.Lifetime())
+	}
+}
+
+func TestMeterEmpty(t *testing.T) {
+	m := NewMeter(4)
+	if m.MaxOverMean() != 0 || m.Lifetime() != 0 {
+		t.Fatal("empty meter should report zeros")
+	}
+}
+
+// Property: Map stays injective for arbitrary sizes, periods and seeds.
+func TestInjectivityProperty(t *testing.T) {
+	f := func(nRaw uint8, psiRaw uint8, seed uint64, randomize bool) bool {
+		n := uint64(nRaw%100) + 2
+		psi := uint64(psiRaw%20) + 1
+		s, err := New(n, psi, randomize, seed)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 50; step++ {
+			seen := map[uint64]bool{}
+			for l := uint64(0); l < n; l++ {
+				p := s.Map(l)
+				if p >= s.Slots() || seen[p] {
+					return false
+				}
+				seen[p] = true
+			}
+			for k := uint64(0); k < psi; k++ {
+				s.OnWrite()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package workload models the paper's six cloud applications (§4.3,
+// Table 2) as synthetic access-stream generators over the simulated address
+// space. Each application is a set of memory segments — heap structures,
+// page-cache file mappings, logs — with a traffic share and an
+// intra-segment access distribution that reproduces the published hot/cold
+// structure: Zipfian key popularity for the NoSQL stores, the 0.01%→90%
+// hotspot for Redis plus its background sweep, the cold LINEITEM table for
+// TPC-C, growing Memtables for Cassandra, and iterative scans for the
+// in-memory analytics job.
+package workload
+
+import (
+	"fmt"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/rng"
+)
+
+// Picker selects the next accessed address within a segment's regions.
+// Pickers may keep state (e.g. sweep position); each segment owns one
+// instance.
+type Picker interface {
+	// Pick returns an address within one of the regions. The regions
+	// slice is never empty.
+	Pick(r *rng.PCG, regions []addr.Range) addr.Virt
+}
+
+// totalPages4K sums the 4KB page count across regions.
+func totalPages4K(regions []addr.Range) uint64 {
+	var n uint64
+	for _, reg := range regions {
+		n += reg.Pages4K()
+	}
+	return n
+}
+
+// pageAt returns the base address of the idx-th 4KB page across regions.
+func pageAt(regions []addr.Range, idx uint64) addr.Virt {
+	for _, reg := range regions {
+		n := reg.Pages4K()
+		if idx < n {
+			return reg.Start.Base4K() + addr.Virt(idx*addr.PageSize4K)
+		}
+		idx -= n
+	}
+	panic("workload: page index out of range")
+}
+
+// Uniform picks uniformly over the segment's bytes (at 4KB-page grain with
+// a random in-page offset).
+type Uniform struct{}
+
+// Pick implements Picker.
+func (Uniform) Pick(r *rng.PCG, regions []addr.Range) addr.Virt {
+	n := totalPages4K(regions)
+	return pageAt(regions, r.Uint64n(n)) + addr.Virt(r.Uint64n(addr.PageSize4K))
+}
+
+// Zipf picks 4KB pages with scrambled-Zipfian popularity — the YCSB-style
+// key skew with hot keys hashed across the space.
+type Zipf struct {
+	// Theta is the skew (default rng.YCSBTheta).
+	Theta float64
+
+	z *rng.ScrambledZipfian
+}
+
+// Pick implements Picker.
+func (p *Zipf) Pick(r *rng.PCG, regions []addr.Range) addr.Virt {
+	n := totalPages4K(regions)
+	if p.z == nil || p.z.N() != n {
+		theta := p.Theta
+		if theta == 0 {
+			theta = rng.YCSBTheta
+		}
+		p.z = rng.NewScrambledZipfian(rng.NewStream(n, 0x5eed), n, theta)
+	}
+	return pageAt(regions, p.z.Next()) + addr.Virt(r.Uint64n(addr.PageSize4K))
+}
+
+// Hotspot picks pages so that HotOpFrac of accesses go to the HotSetFrac
+// hottest fraction of pages (the paper's Redis load: 0.01% of keys take 90%
+// of traffic).
+type Hotspot struct {
+	HotSetFrac float64
+	HotOpFrac  float64
+
+	h *rng.Hotspot
+}
+
+// Pick implements Picker.
+func (p *Hotspot) Pick(r *rng.PCG, regions []addr.Range) addr.Virt {
+	n := totalPages4K(regions)
+	if p.h == nil || p.h.N() != n {
+		p.h = rng.NewHotspot(rng.NewStream(n, 0x407), n, p.HotSetFrac, p.HotOpFrac)
+	}
+	return pageAt(regions, p.h.Next()) + addr.Virt(r.Uint64n(addr.PageSize4K))
+}
+
+// Sweep cycles sequentially through the segment's pages, dwelling on each
+// 4KB page for Dwell accesses before advancing — the background
+// scan/expiry/compaction traffic that periodically revisits the entire
+// footprint. Dwell preserves the real system's sweep period under footprint
+// scaling (see DESIGN.md).
+type Sweep struct {
+	// Dwell is the number of accesses spent on each page (minimum 1).
+	Dwell int
+
+	pos   uint64
+	count int
+}
+
+// Pick implements Picker.
+func (p *Sweep) Pick(r *rng.PCG, regions []addr.Range) addr.Virt {
+	n := totalPages4K(regions)
+	dwell := p.Dwell
+	if dwell < 1 {
+		dwell = 1
+	}
+	if p.pos >= n {
+		p.pos = 0
+	}
+	v := pageAt(regions, p.pos) + addr.Virt(r.Uint64n(addr.PageSize4K))
+	p.count++
+	if p.count >= dwell {
+		p.count = 0
+		p.pos++
+		if p.pos >= n {
+			p.pos = 0
+		}
+	}
+	return v
+}
+
+// StridedScan iterates the segment's pages with a fixed page stride,
+// wrapping around — the access shape of columnar/matrix scans (Spark's
+// collaborative filtering iterates features across rating rows). Unlike
+// Sweep it touches a different page on every access, so its traffic is
+// visible to TLB-miss-based rate estimation at full fidelity.
+type StridedScan struct {
+	// Stride is the page step per access (coprime with the page count
+	// works best; adjusted internally if it divides the page count).
+	Stride uint64
+
+	pos uint64
+}
+
+// Pick implements Picker.
+func (p *StridedScan) Pick(r *rng.PCG, regions []addr.Range) addr.Virt {
+	n := totalPages4K(regions)
+	stride := p.Stride
+	if stride == 0 {
+		stride = 97
+	}
+	for n%stride == 0 && stride > 1 {
+		stride--
+	}
+	p.pos = (p.pos + stride) % n
+	return pageAt(regions, p.pos) + addr.Virt(r.Uint64n(addr.PageSize4K))
+}
+
+// Append writes sequentially like a log: it dwells on the last region's
+// pages in order and wraps, modeling a circular log buffer.
+type Append struct {
+	// Dwell is the number of accesses per page before advancing.
+	Dwell int
+
+	sweep Sweep
+}
+
+// Pick implements Picker.
+func (p *Append) Pick(r *rng.PCG, regions []addr.Range) addr.Virt {
+	p.sweep.Dwell = p.Dwell
+	// Appending only touches the most recent region.
+	return p.sweep.Pick(r, regions[len(regions)-1:])
+}
+
+// HotspotSweep is the Redis traffic model: HotOpFrac of accesses hit a
+// small hot key set (the paper's 0.01% of keys carrying 90% of traffic)
+// whose pages are hash-scattered across the keyspace — as hot keys are in a
+// real hash table — while the remainder sweeps cyclically through the whole
+// footprint, modeling Redis's active-expiry and rehash passes. The scatter
+// is what caps the movable fraction near 10%: most 2MB pages contain at
+// least one hot key, and only the hot-key-free minority is safe to demote.
+// The sweep is what defeats idle-bit placement: every page is eventually
+// revisited at full speed.
+type HotspotSweep struct {
+	HotSetFrac float64
+	HotOpFrac  float64
+	// Dwell is the sweep's per-page access count (set to the footprint
+	// scale divisor to preserve the real sweep period).
+	Dwell int
+	// RotatePeriodNs, when positive, re-scatters the hot key set every
+	// period (simulated time): keys age out of popularity and fresh keys
+	// become hot. This is what makes "idle for 10s" a dangerous placement
+	// signal — a page with no hot keys today may hold tomorrow's.
+	RotatePeriodNs int64
+
+	salt       uint64
+	nextRotate int64
+	sweep      Sweep
+}
+
+// TickPicker implements pickerTicker: advances hot-set rotation.
+func (p *HotspotSweep) TickPicker(nowNs int64) {
+	if p.RotatePeriodNs <= 0 {
+		return
+	}
+	if p.nextRotate == 0 {
+		p.nextRotate = nowNs + p.RotatePeriodNs
+		return
+	}
+	for nowNs >= p.nextRotate {
+		p.salt = rng.Hash64(p.salt + 1)
+		p.nextRotate += p.RotatePeriodNs
+	}
+}
+
+// Pick implements Picker.
+func (p *HotspotSweep) Pick(r *rng.PCG, regions []addr.Range) addr.Virt {
+	n := totalPages4K(regions)
+	if r.Float64() < p.HotOpFrac {
+		hot := uint64(float64(n) * p.HotSetFrac)
+		if hot == 0 {
+			hot = 1
+		}
+		// Hash-scatter the hot set across the keyspace; the salt changes
+		// on rotation, moving popularity to a fresh key set.
+		page := rng.Hash64(r.Uint64n(hot)+0x9e3779b9+p.salt) % n
+		return pageAt(regions, page) + addr.Virt(r.Uint64n(addr.PageSize4K))
+	}
+	p.sweep.Dwell = p.Dwell
+	return p.sweep.Pick(r, regions)
+}
+
+// HotPages returns the distinct hot 4KB page indices the picker currently
+// draws from, given the region page count (ground truth for tests and
+// analyses; reflects the current rotation salt).
+func (p *HotspotSweep) HotPages(n uint64) map[uint64]bool {
+	hot := uint64(float64(n) * p.HotSetFrac)
+	if hot == 0 {
+		hot = 1
+	}
+	out := make(map[uint64]bool, hot)
+	for i := uint64(0); i < hot; i++ {
+		out[rng.Hash64(i+0x9e3779b9+p.salt)%n] = true
+	}
+	return out
+}
+
+// validatePicker panics early on nonsense configurations.
+func validatePicker(p Picker, segName string) {
+	switch v := p.(type) {
+	case *Hotspot:
+		if v.HotSetFrac <= 0 || v.HotSetFrac > 1 || v.HotOpFrac < 0 || v.HotOpFrac > 1 {
+			panic(fmt.Sprintf("workload: segment %q hotspot fractions invalid", segName))
+		}
+	case nil:
+		panic(fmt.Sprintf("workload: segment %q has no picker", segName))
+	}
+}

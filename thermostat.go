@@ -1,0 +1,247 @@
+// Package thermostat is an application-transparent, huge-page-aware page
+// management system for two-tiered main memory, reproducing "Thermostat:
+// Application-transparent Page Management for Two-tiered Main Memory"
+// (Agarwal & Wenisch, ASPLOS 2017) as a self-contained Go simulation.
+//
+// The library has three layers:
+//
+//   - A machine model (Machine): two memory tiers, an x86-64-style 4-level
+//     page table with 2MB huge pages, a two-level TLB, nested (EPT-style)
+//     page walks, an LLC, and BadgerTrap-style PTE-poisoning fault
+//     interception — everything the mechanism interacts with on real
+//     hardware, simulated in virtual time.
+//
+//   - The Thermostat policy (Engine): online huge-page-aware hot/cold
+//     classification driven by a single knob, the tolerable slowdown. Every
+//     scan interval it splits a random 5% of huge pages, poisons up to 50
+//     accessed 4KB children each, estimates per-page access rates from the
+//     resulting TLB-miss faults, demotes the coldest pages to slow memory
+//     under the rate budget x/(100·ts), and promotes mis-classified pages
+//     whose measured rates would breach the budget.
+//
+//   - Workload models (subpackage-driven, re-exported here): the paper's
+//     six cloud applications with their published footprints and access
+//     skews, plus a closed-loop runner that measures throughput, slowdown
+//     and cold-data fractions.
+//
+// Quick start:
+//
+//	m, _ := thermostat.NewMachine(thermostat.DefaultMachineConfig(1<<30, 1<<30))
+//	app, _ := thermostat.NewWorkload(thermostat.Redis(), 64, 1)
+//	eng, _ := thermostat.NewEngine(thermostat.DefaultParams(), 1)
+//	res, _ := thermostat.Run(m, app, eng, thermostat.RunConfig{DurationNs: 60e9})
+//	fmt.Printf("cold: %.0f%%\n", res.FinalFootprint.ColdFraction()*100)
+package thermostat
+
+import (
+	"thermostat/internal/cgroup"
+	"thermostat/internal/core"
+	"thermostat/internal/hugepaged"
+	"thermostat/internal/sim"
+	"thermostat/internal/workload"
+)
+
+// Machine is the simulated two-tier memory system plus MMU. See sim.Machine
+// for the full method set (Access, Demote, Promote, Metrics, ...).
+type Machine = sim.Machine
+
+// MachineConfig assembles a Machine.
+type MachineConfig = sim.Config
+
+// SlowMemMode selects how slow-memory accesses are costed.
+type SlowMemMode = sim.SlowMemMode
+
+// Slow-memory costing modes.
+const (
+	// EmulatedFault reproduces the paper's methodology: slow-tier pages
+	// are poisoned and each TLB miss to them costs a ~1us fault.
+	EmulatedFault = sim.EmulatedFault
+	// Device charges the slow tier's device latency instead.
+	Device = sim.Device
+)
+
+// App is a workload: it allocates a footprint and produces a closed-loop
+// access stream.
+type App = sim.App
+
+// Policy is a page-placement policy ticked every scan interval.
+type Policy = sim.Policy
+
+// RunConfig schedules a simulation run.
+type RunConfig = sim.RunConfig
+
+// RunResult carries throughput, slow-memory rate and footprint series.
+type RunResult = sim.RunResult
+
+// Footprint classifies mapped bytes as hot/cold at 2MB/4KB grain.
+type Footprint = sim.Footprint
+
+// NullPolicy is the all-DRAM baseline (no placement).
+type NullPolicy = sim.NullPolicy
+
+// Params are Thermostat's cgroup-exposed knobs; TolerableSlowdownPct is the
+// single headline input.
+type Params = cgroup.Params
+
+// Group is a runtime-tunable parameter group shared by processes, like a
+// memory cgroup.
+type Group = cgroup.Group
+
+// Engine is the Thermostat policy.
+type Engine = core.Engine
+
+// EngineStats are the engine's lifetime counters.
+type EngineStats = core.Stats
+
+// IdleDemote is the naive Accessed-bit baseline (demote pages idle for N
+// scans) the paper argues against.
+type IdleDemote = core.IdleDemote
+
+// WorkloadSpec declares an application model.
+type WorkloadSpec = workload.Spec
+
+// Segment declares one memory segment of a workload (size, traffic share,
+// intra-segment distribution).
+type Segment = workload.SegmentSpec
+
+// Growth makes a workload's footprint grow at runtime (Memtable fill,
+// shuffle spill).
+type Growth = workload.GrowthSpec
+
+// Picker is an intra-segment access distribution.
+type Picker = workload.Picker
+
+// UniformPicker accesses a segment's pages uniformly.
+type UniformPicker = workload.Uniform
+
+// ZipfPicker applies YCSB-style scrambled-Zipfian page popularity.
+type ZipfPicker = workload.Zipf
+
+// HotspotPicker sends a fraction of accesses to a small hot page set.
+type HotspotPicker = workload.Hotspot
+
+// SweepPicker cycles sequentially through a segment (scans, expiry).
+type SweepPicker = workload.Sweep
+
+// AppendPicker writes sequentially into the most recent region (logs).
+type AppendPicker = workload.Append
+
+// HotspotSweepPicker combines a hash-scattered hotspot with a background
+// sweep — the Redis pattern.
+type HotspotSweepPicker = workload.HotspotSweep
+
+// Workload is a runnable application model.
+type Workload = workload.App
+
+// Mix selects the read/write ratio for the NoSQL stores.
+type Mix = workload.Mix
+
+// Traffic mixes.
+const (
+	// ReadHeavy is the 95:5 read/write mix.
+	ReadHeavy = workload.ReadHeavy
+	// WriteHeavy is the 5:95 read/write mix.
+	WriteHeavy = workload.WriteHeavy
+)
+
+// DefaultMachineConfig returns the paper's evaluated machine: KVM-style
+// nested paging with huge host pages, 64/1024-entry TLBs, 45MB LLC, eight
+// threads, BadgerTrap slow-memory emulation, and the given tier capacities
+// in bytes.
+func DefaultMachineConfig(fastBytes, slowBytes uint64) MachineConfig {
+	return sim.DefaultConfig(fastBytes, slowBytes)
+}
+
+// NewMachine builds a Machine.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return sim.New(cfg) }
+
+// DefaultParams returns the paper's evaluated parameters: 3% tolerable
+// slowdown, 30s sampling period, 5% sample fraction, 50-page poison budget,
+// 1us slow-memory latency.
+func DefaultParams() Params { return cgroup.Default() }
+
+// NewGroup validates params into a runtime-tunable group.
+func NewGroup(name string, p Params) (*Group, error) { return cgroup.NewGroup(name, p) }
+
+// NewEngine builds a Thermostat engine with its own single-member group.
+func NewEngine(p Params, seed uint64) (*Engine, error) {
+	g, err := cgroup.NewGroup("thermostat", p)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEngine(g, seed), nil
+}
+
+// NewEngineInGroup builds an engine sharing an existing group, so its knobs
+// can be retuned at runtime.
+func NewEngineInGroup(g *Group, seed uint64) *Engine {
+	return core.NewEngine(g, seed)
+}
+
+// Run drives app under pol on m.
+func Run(m *Machine, app App, pol Policy, rc RunConfig) (*RunResult, error) {
+	return sim.Run(m, app, pol, rc)
+}
+
+// Tenant pairs an application with its own policy for multi-tenant runs.
+type Tenant = sim.Tenant
+
+// TenantResult is one tenant's outcome from RunMulti.
+type TenantResult = sim.TenantResult
+
+// MultiResult is the outcome of RunMulti.
+type MultiResult = sim.MultiResult
+
+// RunMulti drives several tenants on one shared machine (shared TLB, LLC
+// and memory tiers), each with its own policy — scope per-tenant engines
+// with Engine.SetScope so they manage only their own cgroup's pages.
+func RunMulti(m *Machine, tenants []Tenant, rc RunConfig) (*MultiResult, error) {
+	return sim.RunMulti(m, tenants, rc)
+}
+
+// Slowdown compares a policy run to its all-DRAM baseline: 0.03 means 3%.
+func Slowdown(baseline, policy *RunResult) float64 {
+	return sim.Slowdown(baseline, policy)
+}
+
+// NewWorkload instantiates an application model with its footprint divided
+// by scale.
+func NewWorkload(spec WorkloadSpec, scale, seed uint64) (*Workload, error) {
+	return workload.NewApp(spec, scale, seed)
+}
+
+// Workloads returns the paper's six evaluated applications.
+func Workloads() []WorkloadSpec { return workload.All() }
+
+// WorkloadByName resolves an application name (see Workloads, plus
+// "-read-heavy"/"-write-heavy" suffixes for the NoSQL stores).
+func WorkloadByName(name string) (WorkloadSpec, bool) { return workload.ByName(name) }
+
+// The six applications, for direct construction.
+
+// Aerospike is the multi-threaded key-value store model.
+func Aerospike(mix Mix) WorkloadSpec { return workload.Aerospike(mix) }
+
+// Cassandra is the wide-column store model.
+func Cassandra(mix Mix) WorkloadSpec { return workload.Cassandra(mix) }
+
+// MySQLTPCC is the OLTP database model.
+func MySQLTPCC() WorkloadSpec { return workload.MySQLTPCC() }
+
+// Redis is the hotspot key-value store model.
+func Redis() WorkloadSpec { return workload.Redis() }
+
+// InMemAnalytics is the Spark collaborative-filtering model.
+func InMemAnalytics() WorkloadSpec { return workload.InMemAnalytics() }
+
+// WebSearch is the Solr search model.
+func WebSearch() WorkloadSpec { return workload.WebSearch() }
+
+// Stack composes a placement policy with background daemons; all tick at
+// their own intervals within one run.
+type Stack = sim.Stack
+
+// Khugepaged is the THP collapse daemon: it repairs huge mappings for
+// memory that starts life (or fragments into) 4KB pages, skipping pages
+// Thermostat has split for sampling.
+type Khugepaged = hugepaged.Daemon

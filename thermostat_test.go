@@ -1,0 +1,137 @@
+package thermostat
+
+import (
+	"testing"
+)
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.TolerableSlowdownPct != 3 {
+		t.Errorf("slowdown = %v, want 3", p.TolerableSlowdownPct)
+	}
+	if p.SamplePeriodNs != 30e9 {
+		t.Errorf("period = %v, want 30s", p.SamplePeriodNs)
+	}
+	if p.SampleFraction != 0.05 || p.MaxPoisonPerHuge != 50 {
+		t.Errorf("sampling params %v/%d", p.SampleFraction, p.MaxPoisonPerHuge)
+	}
+	if p.SlowMemLatencyNs != 1000 {
+		t.Errorf("ts = %v, want 1us", p.SlowMemLatencyNs)
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(Params{}, 1); err == nil {
+		t.Fatal("zero params accepted")
+	}
+	if _, err := NewEngine(DefaultParams(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadsCatalog(t *testing.T) {
+	specs := Workloads()
+	if len(specs) != 6 {
+		t.Fatalf("Workloads() returned %d, want 6", len(specs))
+	}
+	for _, s := range specs {
+		if _, ok := WorkloadByName(s.Name); !ok {
+			t.Errorf("WorkloadByName(%q) failed", s.Name)
+		}
+	}
+	if _, ok := WorkloadByName("aerospike-write-heavy"); !ok {
+		t.Error("mix suffix not resolved")
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// The quickstart flow through the façade only: custom workload, engine
+	// in a retunable group, run, inspect.
+	cfg := DefaultMachineConfig(64<<20, 64<<20)
+	cfg.TLB.L1Entries, cfg.TLB.L2Entries = 2, 8
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := WorkloadSpec{
+		Name:      "demo",
+		ComputeNs: 4000,
+		Segments: []Segment{
+			{Name: "hot", Bytes: 8 << 20, Weight: 0.99, Picker: &ZipfPicker{}, WriteFrac: 0.1},
+			{Name: "cold", Bytes: 24 << 20, Weight: 0.01, Picker: UniformPicker{}},
+		},
+	}
+	app, err := NewWorkload(spec, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := DefaultParams()
+	p.SamplePeriodNs = 200e6
+	p.SampleFraction = 0.25
+	group, err := NewGroup("demo", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngineInGroup(group, 9)
+
+	res, err := Run(m, app, eng, RunConfig{DurationNs: 5e9, WarmupNs: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Throughput <= 0 {
+		t.Fatal("run produced nothing")
+	}
+	if res.FinalFootprint.ColdFraction() < 0.2 {
+		t.Fatalf("cold fraction = %v, want most of the cold segment found",
+			res.FinalFootprint.ColdFraction())
+	}
+	// Live retune through the group.
+	if err := group.SetTolerableSlowdown(6); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().Demotions == 0 {
+		t.Fatal("no demotions recorded")
+	}
+}
+
+func TestIdleDemoteViaFacade(t *testing.T) {
+	cfg := DefaultMachineConfig(64<<20, 64<<20)
+	cfg.TLB.L1Entries, cfg.TLB.L2Entries = 2, 8
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := WorkloadSpec{
+		Name:      "demo",
+		ComputeNs: 4000,
+		Segments: []Segment{
+			{Name: "hot", Bytes: 4 << 20, Weight: 1, Picker: UniformPicker{}},
+			{Name: "cold", Bytes: 12 << 20, Weight: 0, Picker: UniformPicker{}},
+		},
+	}
+	app, err := NewWorkload(spec, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := &IdleDemote{Interval: 200e6, IdleScans: 3}
+	res, err := Run(m, app, pol, RunConfig{DurationNs: 4e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalFootprint.Cold() == 0 {
+		t.Fatal("idle-demote found nothing")
+	}
+}
+
+func TestModeConstants(t *testing.T) {
+	cfg := DefaultMachineConfig(4<<20, 4<<20)
+	if cfg.Mode != EmulatedFault {
+		t.Fatal("default mode should be the paper's emulation methodology")
+	}
+	cfg.Mode = Device
+	if _, err := NewMachine(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
