@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# The full pre-merge gate: build, vet, race-enabled tests.
+check:
+	./scripts/check.sh
+
+# Record the hot-path access benchmark under results/.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkAccessPath -benchmem . | tee results/bench-access-latest.txt

@@ -5,15 +5,23 @@
 //	thermostat-sim -app redis -policy thermostat -slowdown 3
 //	thermostat-sim -app cassandra-write-heavy -policy idle-demote
 //	thermostat-sim -app mysql-tpcc -policy all-dram -duration 60
+//
+// Passing -tiers runs the engine over an N-tier hierarchy instead of the
+// paper's two tiers, and additionally reports the per-tier-pair migration
+// traffic matrix and the per-tier cost breakdown:
+//
+//	thermostat-sim -app redis -tiers dram,cxl,nvm -slowdown 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"thermostat/internal/core"
 	"thermostat/internal/harness"
+	"thermostat/internal/mem"
 	"thermostat/internal/report"
 	"thermostat/internal/sim"
 	"thermostat/internal/workload"
@@ -28,6 +36,7 @@ func main() {
 		scaleName = flag.String("scale", "repro", "scale profile: tiny, bench, repro")
 		duration  = flag.Float64("duration", 0, "override run length in (simulated) seconds")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		tiersFlag = flag.String("tiers", "", "comma-separated device presets for an N-tier run, fastest first (presets: "+strings.Join(mem.PresetNames(), ", ")+")")
 		list      = flag.Bool("list", false, "list application models and exit")
 	)
 	flag.Parse()
@@ -62,6 +71,14 @@ func main() {
 		if sc.WarmupNs >= sc.DurationNs {
 			sc.WarmupNs = sc.DurationNs / 5
 		}
+	}
+
+	if *tiersFlag != "" {
+		if *polFlag != "thermostat" {
+			fatal(fmt.Errorf("-tiers only runs under -policy thermostat"))
+		}
+		runNTier(spec, sc, *tiersFlag, *slowdown)
+		return
 	}
 
 	fmt.Fprintf(os.Stderr, "running %s baseline...\n", spec.Name)
@@ -119,6 +136,47 @@ func main() {
 
 	fmt.Println(report.SeriesTable("Footprint over time (bytes)",
 		res.Cold2M, res.Cold4K, res.Hot2M, res.Hot4K).String())
+}
+
+// runNTier runs spec on the named device hierarchy and prints the N-tier
+// reports: run summary, per-tier-pair migration traffic, per-tier cost.
+func runNTier(spec workload.Spec, sc harness.Scale, names string, slowdown float64) {
+	var tiers []mem.Spec
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		spec, ok := mem.Preset(name, 0) // capacities sized by the harness
+		if !ok {
+			fatal(fmt.Errorf("unknown device preset %q (presets: %s)", name, strings.Join(mem.PresetNames(), ", ")))
+		}
+		tiers = append(tiers, spec)
+	}
+	fmt.Fprintf(os.Stderr, "running %s on %d tiers (%s) at %.0f%% target...\n",
+		spec.Name, len(tiers), names, slowdown)
+	out, err := harness.RunNTier(spec, sc, tiers, slowdown)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := harness.AnalyzeNTier(out)
+	if err != nil {
+		fatal(err)
+	}
+
+	res := out.Result
+	st := out.Engine.Stats()
+	summary := report.NewTable("Run summary", "metric", "value")
+	summary.AddF("application", spec.Name)
+	summary.AddF("tiers", names)
+	summary.AddF("simulated_seconds", float64(res.DurationNs)/1e9)
+	summary.AddF("ops", res.Ops)
+	summary.AddF("throughput_ops_per_s", res.Throughput)
+	summary.AddF("pages_sampled", st.Sampled)
+	summary.AddF("demotions", st.Demotions)
+	summary.AddF("promotions_corrections", st.Promotions)
+	summary.AddF("sinks_to_lower_tiers", st.Sinks)
+	summary.AddF("savings_vs_all_dram_pct", rep.Savings*100)
+	fmt.Println(summary.String())
+	fmt.Println(rep.TrafficTable().String())
+	fmt.Println(rep.CostTable().String())
 }
 
 func fatal(err error) {

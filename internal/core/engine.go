@@ -40,10 +40,15 @@ type Stats struct {
 	Sampled uint64
 	// Demotions and Promotions are page movements; promotions are the
 	// §3.5 corrections (mis-classifications or working-set changes).
+	// In N-tier hierarchies a promotion moves one tier up; only a page
+	// reaching the top tier leaves the cold set.
 	Demotions  uint64
 	Promotions uint64
-	// DemoteFailures counts demotions abandoned because the slow tier
-	// was full.
+	// Sinks counts cold pages moved a further tier down an N-tier
+	// hierarchy after staying completely idle (always 0 with two tiers).
+	Sinks uint64
+	// DemoteFailures counts demotions abandoned because the destination
+	// tier was full.
 	DemoteFailures uint64
 }
 
@@ -59,8 +64,15 @@ type Engine struct {
 	// cohort — so a full sample fraction completes every scan interval.
 	splitCohort    map[addr.Virt]*sample
 	poisonedCohort map[addr.Virt]*sample
-	cold           map[addr.Virt]bool
-	lastTick       int64
+	// cold tracks every page below the top tier; in an N-tier hierarchy
+	// the page may sit in any lower tier (idleStreak drives it deeper).
+	cold     map[addr.Virt]bool
+	lastTick int64
+
+	// idleStreak counts consecutive zero-access correction passes per
+	// cold page; pages idle for sinkAfterIdleScans passes sink one tier
+	// deeper when the hierarchy has more than two tiers.
+	idleStreak map[addr.Virt]int
 
 	// seen holds per-page fault-count snapshots so the engine consumes
 	// count *deltas* instead of resetting the shared trap — multiple
@@ -83,8 +95,13 @@ type Engine struct {
 	sampled        stats.Counter
 	demotions      stats.Counter
 	promotions     stats.Counter
+	sinks          stats.Counter
 	demoteFailures stats.Counter
 }
+
+// sinkAfterIdleScans is how many consecutive zero-access correction passes
+// sink a cold page one tier deeper in an N-tier hierarchy.
+const sinkAfterIdleScans = 3
 
 // NewEngine builds a Thermostat engine drawing parameters from group and
 // randomness from seed.
@@ -95,6 +112,7 @@ func NewEngine(group *cgroup.Group, seed uint64) *Engine {
 		splitCohort:    make(map[addr.Virt]*sample),
 		poisonedCohort: make(map[addr.Virt]*sample),
 		cold:           make(map[addr.Virt]bool),
+		idleStreak:     make(map[addr.Virt]int),
 		seen:           make(map[addr.Virt]uint64),
 	}
 }
@@ -172,6 +190,7 @@ func (e *Engine) Stats() Stats {
 		Sampled:        e.sampled.Value(),
 		Demotions:      e.demotions.Value(),
 		Promotions:     e.promotions.Value(),
+		Sinks:          e.sinks.Value(),
 		DemoteFailures: e.demoteFailures.Value(),
 	}
 }
@@ -222,8 +241,10 @@ func (e *Engine) Tick(m *sim.Machine, now int64) error {
 }
 
 // correct implements §3.5: measure every (non-inflight) cold page's access
-// rate from its poison-fault count and promote the hottest pages until the
-// aggregate is back under the target rate.
+// rate from its poison-fault count and promote the hottest pages one tier
+// up until the aggregate is back under the target rate. In hierarchies
+// deeper than the paper's two tiers, it additionally sinks persistently
+// idle cold pages one tier further down.
 func (e *Engine) correct(intervalSec float64) error {
 	if e.noCorrection || len(e.cold) == 0 {
 		return nil
@@ -247,17 +268,65 @@ func (e *Engine) correct(intervalSec float64) error {
 			return err
 		}
 	}
+	if e.m.Memory().NumTiers() > 2 {
+		return e.sink(measured)
+	}
 	return nil
 }
 
-// promote moves a cold huge page back to fast memory and stops monitoring
-// it.
+// sink implements the N-tier extension of the placement rule: a cold page
+// measured completely idle for sinkAfterIdleScans consecutive correction
+// passes moves one tier further down, freeing the warmer tier for pages
+// with some residual access rate. Never reached with two tiers.
+func (e *Engine) sink(measured []Measured) error {
+	for _, c := range measured {
+		if _, stillCold := e.cold[c.Base]; !stillCold {
+			continue // promoted to the top tier this pass
+		}
+		if c.Rate > 0 {
+			delete(e.idleStreak, c.Base)
+			continue
+		}
+		e.idleStreak[c.Base]++
+		if e.idleStreak[c.Base] < sinkAfterIdleScans {
+			continue
+		}
+		tier, err := e.m.Migrator().TierOfPage(c.Base)
+		if err != nil {
+			return err
+		}
+		if tier >= e.m.Memory().Bottom() {
+			continue // nowhere deeper to go
+		}
+		if _, err := e.m.Demote(c.Base); err != nil {
+			if errors.Is(err, mem.ErrOutOfMemory) {
+				e.demoteFailures.Inc()
+				continue
+			}
+			return err
+		}
+		e.idleStreak[c.Base] = 0
+		e.snapshot(c.Base)
+		e.sinks.Inc()
+	}
+	return nil
+}
+
+// promote moves a cold huge page one tier up the hierarchy. A page
+// reaching the top (fast) tier stops being monitored; in deeper
+// hierarchies a page promoted into an intermediate tier stays in the cold
+// set and keeps its poison-based monitoring.
 func (e *Engine) promote(base addr.Virt) error {
 	if _, err := e.m.Promote(base); err != nil {
 		return err
 	}
-	delete(e.cold, base)
 	e.promotions.Inc()
+	if tier, err := e.m.Migrator().TierOfPage(base); err == nil && tier != mem.Fast {
+		e.snapshot(base)
+		return nil
+	}
+	delete(e.cold, base)
+	delete(e.idleStreak, base)
 	return nil
 }
 

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"testing"
+
+	"thermostat/internal/workload"
+)
+
+// goldenTwoTier pins the deterministic two-tier results captured from the
+// seed tree (Tiny scale, 3% tolerable slowdown, seed 1). The N-tier
+// generalization must leave the paper's two-tier configuration bit-for-bit
+// unchanged: every counter here — engine stats, final footprint, virtual
+// clock, fault counts — must match exactly, not approximately.
+var goldenTwoTier = []struct {
+	spec workload.Spec
+
+	periods, sampled, demotions, promotions, demoteFailures uint64
+	hot2M, hot4K, cold2M, cold4K                            uint64
+	ops, accesses, slowAccesses, poisonFaults               uint64
+	clockNs                                                 int64
+	coldPages                                               int
+}{
+	{
+		spec:    workload.Redis(),
+		periods: 20, sampled: 20, demotions: 2, promotions: 0, demoteFailures: 0,
+		hot2M: 67108864, hot4K: 4194304, cold2M: 4194304, cold4K: 0,
+		ops: 6413283, accesses: 6413283, slowAccesses: 2228, poisonFaults: 151390,
+		clockNs:   8000001045,
+		coldPages: 2,
+	},
+	{
+		spec:    workload.MySQLTPCC(),
+		periods: 20, sampled: 20, demotions: 4, promotions: 0, demoteFailures: 0,
+		hot2M: 29360128, hot4K: 4194304, cold2M: 8388608, cold4K: 0,
+		ops: 3176646, accesses: 3176646, slowAccesses: 0, poisonFaults: 19526,
+		clockNs:   8000001311,
+		coldPages: 4,
+	},
+}
+
+func TestTwoTierGoldenRegression(t *testing.T) {
+	for _, g := range goldenTwoTier {
+		g := g
+		t.Run(g.spec.Name, func(t *testing.T) {
+			out, err := RunThermostat(g.spec, Tiny(), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := out.Engine.Stats()
+			fp := out.Result.FinalFootprint
+			met := out.Result.Metrics
+
+			check := func(what string, got, want uint64) {
+				t.Helper()
+				if got != want {
+					t.Errorf("%s = %d, want %d (two-tier determinism broken)", what, got, want)
+				}
+			}
+			check("Periods", st.Periods, g.periods)
+			check("Sampled", st.Sampled, g.sampled)
+			check("Demotions", st.Demotions, g.demotions)
+			check("Promotions", st.Promotions, g.promotions)
+			check("DemoteFailures", st.DemoteFailures, g.demoteFailures)
+			if st.Sinks != 0 {
+				t.Errorf("Sinks = %d, want 0: sinking must never run on a two-tier machine", st.Sinks)
+			}
+			check("Hot2M", fp.Hot2M, g.hot2M)
+			check("Hot4K", fp.Hot4K, g.hot4K)
+			check("Cold2M", fp.Cold2M, g.cold2M)
+			check("Cold4K", fp.Cold4K, g.cold4K)
+			check("Ops", out.Result.Ops, g.ops)
+			check("Accesses", met.Accesses, g.accesses)
+			check("SlowAccesses", met.SlowAccesses, g.slowAccesses)
+			check("PoisonFaults", met.PoisonFaults, g.poisonFaults)
+			if met.ClockNs != g.clockNs {
+				t.Errorf("ClockNs = %d, want %d", met.ClockNs, g.clockNs)
+			}
+			if got := out.Engine.ColdPages(); got != g.coldPages {
+				t.Errorf("ColdPages = %d, want %d", got, g.coldPages)
+			}
+			// The per-tier access vector must be consistent with the legacy
+			// fast/slow split on a two-tier machine.
+			if n := len(met.TierAccesses); n != 2 {
+				t.Fatalf("TierAccesses has %d tiers, want 2", n)
+			}
+			if met.TierAccesses[0]+met.TierAccesses[1] != met.Accesses {
+				t.Errorf("TierAccesses sum %d+%d != Accesses %d",
+					met.TierAccesses[0], met.TierAccesses[1], met.Accesses)
+			}
+			if met.TierAccesses[1] != met.SlowAccesses {
+				t.Errorf("TierAccesses[1] = %d, want SlowAccesses %d",
+					met.TierAccesses[1], met.SlowAccesses)
+			}
+		})
+	}
+}

@@ -1,7 +1,14 @@
-// Package mem models the two-tiered physical memory system: a fast DRAM tier
-// and a slow, cheap tier (3D-XPoint-class). Each tier owns a slice of the
-// simulated physical address space, a frame allocator at 4KB and 2MB grains,
-// and latency/bandwidth parameters used by the machine model.
+// Package mem models the tiered physical memory system: an ordered
+// hierarchy of memory devices from fastest (tier 0, conventional DRAM) to
+// slowest (dense, cheap technologies such as CXL-attached DRAM or
+// 3D-XPoint-class NVM). Each tier owns a slice of the simulated physical
+// address space, a frame allocator at 4KB and 2MB grains, and
+// latency/bandwidth parameters used by the machine model.
+//
+// The paper's system is the two-tier special case (DRAM + slow memory);
+// NewSystem builds exactly that. NewHierarchy accepts any ordered spec list
+// up to MaxTiers, and the rest of the stack (migrator, simulator, policies)
+// is tier-count-agnostic.
 //
 // Physical address space layout: tier i owns addresses [i<<TierShift,
 // (i+1)<<TierShift), so the owning tier of any physical address is recovered
@@ -12,41 +19,85 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"thermostat/internal/addr"
 )
 
-// TierID identifies a memory tier.
+// TierID identifies a memory tier by its position in the ordered hierarchy:
+// 0 is the fastest device, higher IDs are progressively slower and cheaper.
 type TierID int
 
-// The two tiers of the paper's hybrid memory system.
+// The two tiers of the paper's hybrid memory system. In an N-tier hierarchy
+// Fast remains the top tier; Slow is the second tier (the paper's only
+// other tier), not necessarily the bottom.
 const (
-	// Fast is conventional DRAM.
+	// Fast is conventional DRAM, always tier 0.
 	Fast TierID = 0
 	// Slow is the dense, cheap, higher-latency technology.
 	Slow TierID = 1
 )
 
-// String names the tier.
-func (id TierID) String() string {
-	switch id {
-	case Fast:
-		return "fast"
-	case Slow:
-		return "slow"
-	default:
-		return fmt.Sprintf("tier%d", int(id))
+// MaxTiers bounds the hierarchy depth. The physical map carves one
+// TierShift-sized window per tier, so the bound also guards TierOf against
+// corrupt physical addresses.
+const MaxTiers = 8
+
+// tierNames is the process-wide name table TierID.String renders from. It
+// is seeded with the paper's two tiers and extended by NewHierarchy when a
+// system with named specs is built.
+var (
+	tierNamesMu sync.RWMutex
+	tierNames   = map[TierID]string{Fast: "fast", Slow: "slow"}
+)
+
+// registerTierNames records the names of a hierarchy's tiers so String can
+// render them (e.g. "nvm" instead of a "tier2" fallback).
+func registerTierNames(specs []Spec) {
+	tierNamesMu.Lock()
+	defer tierNamesMu.Unlock()
+	for i, s := range specs {
+		if s.Name != "" {
+			tierNames[TierID(i)] = s.Name
+		}
 	}
+}
+
+// String names the tier from the registered tier table, falling back to
+// "tierN" for tiers no built hierarchy has named.
+func (id TierID) String() string {
+	tierNamesMu.RLock()
+	name, ok := tierNames[id]
+	tierNamesMu.RUnlock()
+	if ok {
+		return name
+	}
+	return fmt.Sprintf("tier%d", int(id))
 }
 
 // TierShift positions each tier 16TB apart in the physical map.
 const TierShift = 44
 
-// TierOf returns the tier owning physical address p.
-func TierOf(p addr.Phys) TierID { return TierID(uint64(p) >> TierShift) }
+// TierOf returns the tier owning physical address p. It panics on addresses
+// outside the MaxTiers-bounded physical map — such an address is corrupt
+// (never produced by any tier's allocator), and silently indexing a
+// nonexistent tier with it would corrupt placement decisions. Callers with
+// access to a System should prefer System.TierOf, which also validates the
+// tier against the configured hierarchy.
+func TierOf(p addr.Phys) TierID {
+	id := TierID(uint64(p) >> TierShift)
+	if id >= MaxTiers {
+		panic(fmt.Sprintf("mem: physical address %s beyond the %d-tier physical map (corrupt frame?)", p, MaxTiers))
+	}
+	return id
+}
 
 // Spec describes one tier's hardware characteristics.
 type Spec struct {
+	// Name labels the device class ("fast", "cxl", "nvm", ...) in reports
+	// and error messages. Empty is allowed; the tier then renders by
+	// position.
+	Name string
 	// Capacity in bytes; rounded down to whole 2MB frames.
 	Capacity uint64
 	// ReadLatency is the device read latency in nanoseconds (DRAM ~80ns,
@@ -55,10 +106,11 @@ type Spec struct {
 	// WriteLatency is the device write latency in nanoseconds.
 	WriteLatency int64
 	// Bandwidth is the sustainable device bandwidth in bytes/second, used
-	// to sanity-check migration traffic (Table 3).
+	// to sanity-check migration traffic (Table 3) and to bound migration
+	// copy costs.
 	Bandwidth float64
 	// CostPerGB is the relative cost per GB (DRAM = 1.0); used by the
-	// Table 4 cost model.
+	// Table 4 cost model and its N-tier generalization.
 	CostPerGB float64
 }
 
@@ -66,6 +118,7 @@ type Spec struct {
 // capacity.
 func DefaultDRAM(capacity uint64) Spec {
 	return Spec{
+		Name:         "fast",
 		Capacity:     capacity,
 		ReadLatency:  80,
 		WriteLatency: 80,
@@ -78,6 +131,7 @@ func DefaultDRAM(capacity uint64) Spec {
 // average access latency, one third of DRAM cost) for the given capacity.
 func DefaultSlow(capacity uint64) Spec {
 	return Spec{
+		Name:         "slow",
 		Capacity:     capacity,
 		ReadLatency:  1000,
 		WriteLatency: 1000,
@@ -85,6 +139,55 @@ func DefaultSlow(capacity uint64) Spec {
 		CostPerGB:    1.0 / 3.0,
 	}
 }
+
+// DefaultCXL returns parameters for a CXL-attached DRAM expander: a middle
+// tier between local DRAM and NVM (~250ns loads, half of DRAM cost) as
+// evaluated by terabyte-scale tiering work (e.g. Telescope).
+func DefaultCXL(capacity uint64) Spec {
+	return Spec{
+		Name:         "cxl",
+		Capacity:     capacity,
+		ReadLatency:  250,
+		WriteLatency: 250,
+		Bandwidth:    30e9,
+		CostPerGB:    0.5,
+	}
+}
+
+// DefaultNVM returns parameters for a 3D-XPoint-class NVM bottom tier: the
+// paper's slow-memory latency point at the cheapest Table 4 price ratio.
+func DefaultNVM(capacity uint64) Spec {
+	return Spec{
+		Name:         "nvm",
+		Capacity:     capacity,
+		ReadLatency:  1000,
+		WriteLatency: 1000,
+		Bandwidth:    10e9,
+		CostPerGB:    1.0 / 5.0,
+	}
+}
+
+// presets maps device-class names to their Spec constructors.
+var presets = map[string]func(uint64) Spec{
+	"fast": DefaultDRAM,
+	"dram": DefaultDRAM,
+	"slow": DefaultSlow,
+	"cxl":  DefaultCXL,
+	"nvm":  DefaultNVM,
+}
+
+// Preset resolves a named device preset ("dram", "fast", "cxl", "nvm",
+// "slow") at the given capacity.
+func Preset(name string, capacity uint64) (Spec, bool) {
+	f, ok := presets[name]
+	if !ok {
+		return Spec{}, false
+	}
+	return f(capacity), true
+}
+
+// PresetNames lists the device classes Preset resolves.
+func PresetNames() []string { return []string{"dram", "fast", "cxl", "nvm", "slow"} }
 
 // ErrOutOfMemory is returned when a tier cannot satisfy an allocation.
 var ErrOutOfMemory = errors.New("mem: tier out of memory")
@@ -152,6 +255,9 @@ func trailingZeros(v uint64) int {
 
 // NewTier builds a tier with the given identity and spec.
 func NewTier(id TierID, spec Spec) *Tier {
+	if id < 0 || id >= MaxTiers {
+		panic(fmt.Sprintf("mem: tier id %d outside [0, %d)", int(id), MaxTiers))
+	}
 	t := &Tier{id: id, spec: spec, broken: make(map[uint64]*childMap)}
 	base := uint64(id) << (TierShift - addr.PageShift2M) // in 2MB frame numbers
 	nFrames := spec.Capacity / addr.PageSize2M
@@ -164,6 +270,15 @@ func NewTier(id TierID, spec Spec) *Tier {
 
 // ID returns the tier's identity.
 func (t *Tier) ID() TierID { return t.id }
+
+// Name returns the tier's device-class name, falling back to the positional
+// name when the spec is unnamed.
+func (t *Tier) Name() string {
+	if t.spec.Name != "" {
+		return t.spec.Name
+	}
+	return t.id.String()
+}
 
 // Spec returns the tier's hardware characteristics.
 func (t *Tier) Spec() Spec { return t.spec }
@@ -247,30 +362,76 @@ func (t *Tier) Free4K(p addr.Phys) {
 	}
 }
 
-// System is the full physical memory: one allocator per tier.
+// System is the full physical memory: an ordered tier hierarchy with one
+// allocator per tier.
 type System struct {
 	tiers []*Tier
 }
 
-// NewSystem builds a two-tier system from the given specs, indexed by TierID.
+// NewSystem builds the paper's two-tier system from the given specs,
+// indexed by TierID (Fast, Slow).
 func NewSystem(fast, slow Spec) *System {
-	return &System{tiers: []*Tier{NewTier(Fast, fast), NewTier(Slow, slow)}}
+	s, err := NewHierarchy(fast, slow)
+	if err != nil {
+		panic(err) // unreachable: two specs always form a valid hierarchy
+	}
+	return s
 }
 
-// Tier returns the tier with the given identity.
+// NewHierarchy builds an N-tier system from an ordered spec list, fastest
+// first. Between 1 and MaxTiers tiers are supported; spec names are
+// registered into the tier name table.
+func NewHierarchy(specs ...Spec) (*System, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("mem: hierarchy needs at least one tier")
+	}
+	if len(specs) > MaxTiers {
+		return nil, fmt.Errorf("mem: %d tiers exceed the physical map's %d-tier bound", len(specs), MaxTiers)
+	}
+	registerTierNames(specs)
+	s := &System{tiers: make([]*Tier, len(specs))}
+	for i, spec := range specs {
+		s.tiers[i] = NewTier(TierID(i), spec)
+	}
+	return s, nil
+}
+
+// NumTiers returns the hierarchy depth.
+func (s *System) NumTiers() int { return len(s.tiers) }
+
+// Bottom returns the slowest (last) tier's identity.
+func (s *System) Bottom() TierID { return TierID(len(s.tiers) - 1) }
+
+// Tier returns the tier with the given identity. It panics with a
+// descriptive message when id does not name a configured tier — indexing a
+// nonexistent tier means a corrupt TierID or physical address upstream.
 func (s *System) Tier(id TierID) *Tier {
+	if id < 0 || int(id) >= len(s.tiers) {
+		panic(fmt.Sprintf("mem: tier %d outside the configured %d-tier hierarchy", int(id), len(s.tiers)))
+	}
 	return s.tiers[id]
 }
 
-// Tiers returns all tiers.
+// Tiers returns all tiers, fastest first.
 func (s *System) Tiers() []*Tier { return s.tiers }
+
+// TierOf returns the tier owning physical address p, validated against the
+// configured hierarchy: it panics descriptively if p falls in an address
+// window no tier owns.
+func (s *System) TierOf(p addr.Phys) TierID {
+	id := TierOf(p)
+	if int(id) >= len(s.tiers) {
+		panic(fmt.Sprintf("mem: physical address %s maps to tier %d but only %d tiers are configured", p, int(id), len(s.tiers)))
+	}
+	return id
+}
 
 // ReadLatency returns the device read latency for the tier owning p.
 func (s *System) ReadLatency(p addr.Phys) int64 {
-	return s.tiers[TierOf(p)].spec.ReadLatency
+	return s.Tier(s.TierOf(p)).spec.ReadLatency
 }
 
 // WriteLatency returns the device write latency for the tier owning p.
 func (s *System) WriteLatency(p addr.Phys) int64 {
-	return s.tiers[TierOf(p)].spec.WriteLatency
+	return s.Tier(s.TierOf(p)).spec.WriteLatency
 }

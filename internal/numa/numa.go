@@ -5,8 +5,11 @@
 // migrate_pages semantics: allocate in the destination, copy, remap, flush
 // the TLB, free the source frame.
 //
-// The Migrator meters traffic by direction so the harness can report the
-// paper's Table 3 (migration rate vs. false-classification rate).
+// The Migrator moves pages between any ordered tier pair of an N-tier
+// hierarchy; copy cost is bounded by the slower endpoint's bandwidth. It
+// meters traffic by direction and by (src, dst) pair so the harness can
+// report the paper's Table 3 (migration rate vs. false-classification rate)
+// and the N-tier per-pair traffic matrix.
 package numa
 
 import (
@@ -63,7 +66,7 @@ func (m *Migrator) TierOfPage(v addr.Virt) (mem.TierID, error) {
 	if !ok {
 		return 0, fmt.Errorf("numa: %s unmapped", v)
 	}
-	return mem.TierOf(e.Frame), nil
+	return m.sys.TierOf(e.Frame), nil
 }
 
 // MoveHuge migrates the entire 2MB region containing v to tier dst. The
@@ -80,7 +83,7 @@ func (m *Migrator) MoveHuge(v addr.Virt, dst mem.TierID, vpid tlb.VPID, kind mem
 	if !ok {
 		return 0, fmt.Errorf("numa: MoveHuge of unmapped %s", hv)
 	}
-	src := mem.TierOf(e.Frame)
+	src := m.sys.TierOf(e.Frame)
 	if src == dst {
 		return 0, fmt.Errorf("numa: %s already in %s tier", hv, dst)
 	}
@@ -128,7 +131,7 @@ func (m *Migrator) MoveHuge(v addr.Virt, dst mem.TierID, vpid tlb.VPID, kind mem
 	}
 
 	m.sys.Tier(src).Free2M(oldBase)
-	m.meter.Record(kind, addr.PageSize2M)
+	m.meter.RecordPair(kind, src, dst, addr.PageSize2M)
 	return m.copyCost(src, dst, addr.PageSize2M), nil
 }
 
@@ -146,7 +149,7 @@ func (m *Migrator) Move4K(v addr.Virt, dst mem.TierID, vpid tlb.VPID, kind mem.T
 	if e.Flags.Has(pagetable.SplitSampled) {
 		return 0, fmt.Errorf("numa: Move4K of split-THP child %s (use MoveHuge)", pv)
 	}
-	src := mem.TierOf(e.Frame)
+	src := m.sys.TierOf(e.Frame)
 	if src == dst {
 		return 0, fmt.Errorf("numa: %s already in %s tier", pv, dst)
 	}
@@ -164,6 +167,6 @@ func (m *Migrator) Move4K(v addr.Virt, dst mem.TierID, vpid tlb.VPID, kind mem.T
 	}
 	m.tl.Invalidate(pv, vpid)
 	m.sys.Tier(src).Free4K(e.Frame.Base4K())
-	m.meter.Record(kind, addr.PageSize4K)
+	m.meter.RecordPair(kind, src, dst, addr.PageSize4K)
 	return m.copyCost(src, dst, addr.PageSize4K), nil
 }

@@ -1,0 +1,218 @@
+package numa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/mem"
+	"thermostat/internal/pagetable"
+	"thermostat/internal/rng"
+	"thermostat/internal/tlb"
+)
+
+// fourTierFixture builds a migrator over a DRAM/CXL/NVM/slow hierarchy so the
+// properties below can exercise every ordered tier pair, not just the paper's
+// fast<->slow two.
+func fourTierFixture(t *testing.T) *fixture {
+	t.Helper()
+	sys, err := mem.NewHierarchy(
+		mem.DefaultDRAM(16<<20),
+		mem.DefaultCXL(16<<20),
+		mem.DefaultNVM(16<<20),
+		mem.DefaultSlow(16<<20),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pagetable.New()
+	tl := tlb.New(tlb.DefaultConfig())
+	return &fixture{sys: sys, pt: pt, tl: tl, mig: NewMigrator(sys, pt, tl, mem.NewMeter(0))}
+}
+
+// checkRegion verifies the leaf mappings backing the 2MB region at v: the
+// region is either one aligned huge leaf or 512 contiguous 4KB children over
+// one 2MB frame, every leaf's frame lives in tier want, and the recorded
+// flags survived migration.
+func checkRegion(t *testing.T, f *fixture, v addr.Virt, want mem.TierID, split bool, poisoned map[int]bool) {
+	t.Helper()
+	if !split {
+		e, lvl, ok := f.pt.Lookup(v)
+		if !ok || lvl != pagetable.Level2M {
+			t.Fatalf("region %s: huge leaf lost (ok=%v lvl=%v)", v, ok, lvl)
+		}
+		if e.Frame.Base2M() != e.Frame {
+			t.Fatalf("region %s: unaligned huge frame %s", v, e.Frame)
+		}
+		if got := f.sys.TierOf(e.Frame); got != want {
+			t.Fatalf("region %s: in tier %v, want %v", v, got, want)
+		}
+		return
+	}
+	base := addr.Phys(0)
+	for i := 0; i < addr.PagesPerHuge; i++ {
+		cv := v + addr.Virt(uint64(i)*addr.PageSize4K)
+		e, lvl, ok := f.pt.Lookup(cv)
+		if !ok || lvl != pagetable.Level4K {
+			t.Fatalf("region %s: split child %d lost (ok=%v lvl=%v)", v, i, ok, lvl)
+		}
+		if i == 0 {
+			base = e.Frame.Base2M()
+			if got := f.sys.TierOf(base); got != want {
+				t.Fatalf("region %s: in tier %v, want %v", v, got, want)
+			}
+		}
+		if e.Frame != base+addr.Phys(uint64(i)*addr.PageSize4K) {
+			t.Fatalf("region %s: child %d frame %s breaks contiguity over %s", v, i, e.Frame, base)
+		}
+		if e.Flags.Has(pagetable.Poisoned) != poisoned[i] {
+			t.Fatalf("region %s: child %d poison flag = %v, want %v", v, i, e.Flags.Has(pagetable.Poisoned), poisoned[i])
+		}
+	}
+}
+
+// TestMoveEveryTierPairProperty drives random migrations of huge, split and
+// native-4K pages between every ordered tier pair of a four-tier hierarchy
+// and checks, after every move, that mappings stay consistent (contiguity,
+// alignment, flags) and that frame accounting balances: each tier's Used()
+// equals exactly the bytes mapped there.
+func TestMoveEveryTierPairProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		f := fourTierFixture(t)
+		r := rng.New(seed)
+		nTiers := f.sys.NumTiers()
+
+		type region struct {
+			v        addr.Virt
+			tier     mem.TierID
+			split    bool
+			poisoned map[int]bool
+		}
+		type native struct {
+			v    addr.Virt
+			tier mem.TierID
+		}
+
+		// Map six 2MB regions (half split with scattered poison) plus four
+		// native 4KB pages, spread across the tiers.
+		var regions []*region
+		for i := 0; i < 6; i++ {
+			tier := mem.TierID(int(r.Uint64n(uint64(nTiers))))
+			v := addr.Virt2M(uint64(i))
+			p, err := f.sys.Tier(tier).Alloc2M()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.pt.Map2M(v, p, pagetable.Writable); err != nil {
+				t.Fatal(err)
+			}
+			reg := &region{v: v, tier: tier, poisoned: map[int]bool{}}
+			if i%2 == 0 {
+				if err := f.pt.Split(v); err != nil {
+					t.Fatal(err)
+				}
+				reg.split = true
+				for j := 0; j < 3; j++ {
+					c := int(r.Uint64n(uint64(addr.PagesPerHuge)))
+					f.pt.SetFlags(reg.v+addr.Virt(uint64(c)*addr.PageSize4K), pagetable.Poisoned)
+					reg.poisoned[c] = true
+				}
+			}
+			regions = append(regions, reg)
+		}
+		var natives []*native
+		for i := 0; i < 4; i++ {
+			tier := mem.TierID(int(r.Uint64n(uint64(nTiers))))
+			v := addr.Virt2M(100) + addr.Virt(uint64(i)*addr.PageSize4K)
+			p, err := f.sys.Tier(tier).Alloc4K()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.pt.Map4K(v, p, pagetable.Writable); err != nil {
+				t.Fatal(err)
+			}
+			natives = append(natives, &native{v: v, tier: tier})
+		}
+
+		checkAccounting := func() {
+			mapped := make([]uint64, nTiers)
+			for _, reg := range regions {
+				mapped[reg.tier] += addr.PageSize2M
+			}
+			for _, n := range natives {
+				mapped[n.tier] += addr.PageSize4K
+			}
+			for i := 0; i < nTiers; i++ {
+				used := f.sys.Tier(mem.TierID(i)).Used()
+				if used != mapped[i] {
+					t.Fatalf("tier %d: Used() = %d, mapped = %d", i, used, mapped[i])
+				}
+			}
+		}
+
+		// Random walk: each step moves one page to a random *different*
+		// tier, so over the run every ordered (src, dst) pair is exercised.
+		for step := 0; step < 60; step++ {
+			if r.Uint64n(4) < 3 {
+				reg := regions[int(r.Uint64n(uint64(len(regions))))]
+				dst := mem.TierID(int(r.Uint64n(uint64(nTiers))))
+				if dst == reg.tier {
+					continue
+				}
+				kind := mem.Demotion
+				if dst < reg.tier {
+					kind = mem.Promotion
+				}
+				cost, err := f.mig.MoveHuge(reg.v, dst, 1, kind)
+				if err != nil {
+					t.Fatalf("MoveHuge %s %v->%v: %v", reg.v, reg.tier, dst, err)
+				}
+				if cost <= 0 {
+					t.Fatalf("MoveHuge cost = %d", cost)
+				}
+				reg.tier = dst
+				checkRegion(t, f, reg.v, reg.tier, reg.split, reg.poisoned)
+			} else {
+				n := natives[int(r.Uint64n(uint64(len(natives))))]
+				dst := mem.TierID(int(r.Uint64n(uint64(nTiers))))
+				if dst == n.tier {
+					continue
+				}
+				kind := mem.Demotion
+				if dst < n.tier {
+					kind = mem.Promotion
+				}
+				if _, err := f.mig.Move4K(n.v, dst, 1, kind); err != nil {
+					t.Fatalf("Move4K %s %v->%v: %v", n.v, n.tier, dst, err)
+				}
+				n.tier = dst
+				if got, err := f.mig.TierOfPage(n.v); err != nil || got != dst {
+					t.Fatalf("native %s: tier %v err %v, want %v", n.v, got, err, dst)
+				}
+			}
+			checkAccounting()
+		}
+
+		// Every region is still fully intact at the end.
+		for _, reg := range regions {
+			checkRegion(t, f, reg.v, reg.tier, reg.split, reg.poisoned)
+		}
+
+		// The meter's pair matrix only ever names configured tiers, and the
+		// per-pair totals sum to the legacy aggregates.
+		var pairSum uint64
+		for _, p := range f.mig.Meter().Pairs() {
+			if int(p.Src) >= nTiers || int(p.Dst) >= nTiers || p.Src == p.Dst {
+				t.Fatalf("meter recorded impossible pair %v", p)
+			}
+			pairSum += f.mig.Meter().PairTraffic(p.Src, p.Dst).Bytes
+		}
+		if total := f.mig.Meter().TotalBytes(); pairSum != total {
+			t.Fatalf("pair matrix sums to %d, aggregate = %d", pairSum, total)
+		}
+		return true
+	}
+	if err := quick.Check(func(seed uint64) bool { return prop(seed) }, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -73,3 +73,55 @@ func TestBreakEvenSlowdown(t *testing.T) {
 		t.Error("savings > 1 accepted")
 	}
 }
+
+func TestSavingsTiered(t *testing.T) {
+	// Two-tier degenerate case reproduces Savings exactly.
+	want, _ := Savings(0.40, 1.0/3)
+	got, err := SavingsTiered([]TierShare{
+		{Name: "dram", Fraction: 0.60, CostRatio: 1.0},
+		{Name: "slow", Fraction: 0.40, CostRatio: 1.0 / 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("two-tier SavingsTiered = %v, Savings = %v", got, want)
+	}
+
+	// Three-tier DRAM/CXL/NVM split: blended cost 0.5 + 0.3*0.5 + 0.2*0.2
+	// = 0.69, saving 31%.
+	got, err = SavingsTiered([]TierShare{
+		{Name: "dram", Fraction: 0.5, CostRatio: 1.0},
+		{Name: "cxl", Fraction: 0.3, CostRatio: 0.5},
+		{Name: "nvm", Fraction: 0.2, CostRatio: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.31) > 1e-12 {
+		t.Fatalf("three-tier SavingsTiered = %v, want 0.31", got)
+	}
+
+	// All bytes in DRAM saves nothing.
+	got, err = SavingsTiered([]TierShare{{Name: "dram", Fraction: 1, CostRatio: 1}})
+	if err != nil || got != 0 {
+		t.Fatalf("all-DRAM = %v, %v", got, err)
+	}
+
+	// Validation: empty, bad fraction, bad ratio, fractions not summing to 1.
+	if _, err := SavingsTiered(nil); err == nil {
+		t.Error("empty shares accepted")
+	}
+	if _, err := SavingsTiered([]TierShare{{Fraction: 1.2, CostRatio: 1}}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := SavingsTiered([]TierShare{{Fraction: 1, CostRatio: 2}}); err == nil {
+		t.Error("cost ratio > 1 accepted")
+	}
+	if _, err := SavingsTiered([]TierShare{
+		{Fraction: 0.5, CostRatio: 1},
+		{Fraction: 0.2, CostRatio: 0.5},
+	}); err == nil {
+		t.Error("fractions summing to 0.7 accepted")
+	}
+}

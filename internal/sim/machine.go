@@ -66,7 +66,12 @@ type Config struct {
 	LLC cache.Config
 	// Walk parameterizes page-walk latency.
 	Walk walk.Config
-	// FastSpec and SlowSpec size the two memory tiers.
+	// Tiers, when non-empty, is the ordered memory hierarchy (fastest
+	// first, up to mem.MaxTiers entries); it takes precedence over
+	// FastSpec/SlowSpec.
+	Tiers []mem.Spec
+	// FastSpec and SlowSpec size the two-tier (paper) configuration used
+	// when Tiers is empty.
 	FastSpec, SlowSpec mem.Spec
 	// Mode selects slow-memory costing (default EmulatedFault).
 	Mode SlowMemMode
@@ -99,10 +104,31 @@ func DefaultConfig(fastBytes, slowBytes uint64) Config {
 	}
 }
 
+// DefaultTieredConfig returns the default machine over an arbitrary ordered
+// memory hierarchy (fastest first), e.g. DRAM/CXL/NVM. In EmulatedFault
+// mode every non-top tier is emulated with poison faults at the configured
+// fault latency; Device mode charges each tier's own device latency.
+func DefaultTieredConfig(tiers ...mem.Spec) Config {
+	cfg := DefaultConfig(0, 0)
+	cfg.Tiers = tiers
+	return cfg
+}
+
+// TierSpecs returns the ordered hierarchy a config will build.
+func (c Config) TierSpecs() []mem.Spec {
+	if len(c.Tiers) > 0 {
+		return c.Tiers
+	}
+	return []mem.Spec{c.FastSpec, c.SlowSpec}
+}
+
 // Metrics is a snapshot of machine-level counters.
 type Metrics struct {
-	Accesses     uint64
+	Accesses uint64
+	// SlowAccesses counts accesses served by any non-top tier.
 	SlowAccesses uint64
+	// TierAccesses counts accesses per tier, indexed by mem.TierID.
+	TierAccesses []uint64
 	PoisonFaults uint64
 	TLB          tlb.Stats
 	LLC          cache.Stats
@@ -131,6 +157,7 @@ type Machine struct {
 
 	accesses     stats.Counter
 	slowAccesses stats.Counter
+	tierAccesses []stats.Counter // indexed by mem.TierID
 	latHist      *stats.Histogram
 
 	// daemonNs accumulates policy CPU time (scans, sorting) which the
@@ -181,16 +208,21 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	sys, err := mem.NewHierarchy(cfg.TierSpecs()...)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	m := &Machine{
-		cfg:     cfg,
-		sys:     mem.NewSystem(cfg.FastSpec, cfg.SlowSpec),
-		pt:      pagetable.New(),
-		tl:      tlb.New(cfg.TLB),
-		llc:     cache.New(cfg.LLC),
-		wm:      wm,
-		guest:   guest,
-		next:    cfg.VirtBase,
-		latHist: stats.NewHistogram(),
+		cfg:          cfg,
+		sys:          sys,
+		pt:           pagetable.New(),
+		tl:           tlb.New(cfg.TLB),
+		llc:          cache.New(cfg.LLC),
+		wm:           wm,
+		guest:        guest,
+		next:         cfg.VirtBase,
+		latHist:      stats.NewHistogram(),
+		tierAccesses: make([]stats.Counter, sys.NumTiers()),
 	}
 	m.trap = badgertrap.New(m.pt, m.tl, cfg.FaultLatencyNs)
 	m.reg = fault.NewRegistry()
@@ -285,16 +317,29 @@ func (m *Machine) AllocRegion(size uint64, huge bool) (addr.Range, error) {
 	return r, nil
 }
 
-// Demote moves the 2MB region containing v to the slow tier and arms
-// PMD-grain poisoning on it. The poison serves double duty: in EmulatedFault
-// mode it is the slow-memory emulation itself (each TLB miss to the page
-// costs a ~1us fault, per the paper's methodology), and in both modes its
-// fault counts are the §3.5 access monitoring policies read. Returns the
-// migration cost in nanoseconds.
+// Demote moves the 2MB region containing v one tier down the hierarchy and
+// arms PMD-grain poisoning on it. The poison serves double duty: in
+// EmulatedFault mode it is the slow-memory emulation itself (each TLB miss
+// to the page costs a ~1us fault, per the paper's methodology), and in both
+// modes its fault counts are the §3.5 access monitoring policies read. In
+// the paper's two-tier configuration this is exactly fast→slow. Returns
+// the migration cost in nanoseconds.
 func (m *Machine) Demote(v addr.Virt) (int64, error) {
-	cost, err := m.mig.MoveHuge(v, mem.Slow, m.VPID(), mem.Demotion)
+	src, err := m.mig.TierOfPage(v.Base2M())
 	if err != nil {
 		return 0, err
+	}
+	if src >= m.sys.Bottom() {
+		return 0, fmt.Errorf("sim: %s already in the bottom (%s) tier", v.Base2M(), src)
+	}
+	cost, err := m.mig.MoveHuge(v, src+1, m.VPID(), mem.Demotion)
+	if err != nil {
+		return 0, err
+	}
+	if m.trap.IsPoisoned(v.Base2M()) {
+		// Already monitored (page was below the top tier before); the
+		// poison carries over to the new frame's mapping unchanged.
+		return cost, nil
 	}
 	if err := m.trap.Poison(v.Base2M(), m.VPID()); err != nil {
 		return 0, err
@@ -302,16 +347,36 @@ func (m *Machine) Demote(v addr.Virt) (int64, error) {
 	return cost, nil
 }
 
-// Promote moves the 2MB region containing v back to the fast tier and
-// disarms its poison. Returns the migration cost in nanoseconds.
+// Promote moves the 2MB region containing v one tier up the hierarchy. The
+// poison is disarmed for the move and re-armed when the destination is
+// still below the top tier (monitoring and slow-memory emulation continue
+// there); a page reaching the fast tier stops being monitored. In the
+// paper's two-tier configuration this is exactly slow→fast. Returns the
+// migration cost in nanoseconds.
 func (m *Machine) Promote(v addr.Virt) (int64, error) {
 	base := v.Base2M()
+	src, err := m.mig.TierOfPage(base)
+	if err != nil {
+		return 0, err
+	}
+	if src == mem.Fast {
+		return 0, fmt.Errorf("sim: %s already in the top (%s) tier", base, mem.Fast)
+	}
 	if m.trap.IsPoisoned(base) {
 		if err := m.trap.Unpoison(base); err != nil {
 			return 0, err
 		}
 	}
-	return m.mig.MoveHuge(base, mem.Fast, m.VPID(), mem.Promotion)
+	cost, err := m.mig.MoveHuge(base, src-1, m.VPID(), mem.Promotion)
+	if err != nil {
+		return 0, err
+	}
+	if src-1 != mem.Fast {
+		if err := m.trap.Poison(base, m.VPID()); err != nil {
+			return 0, err
+		}
+	}
+	return cost, nil
 }
 
 // Access simulates one memory access to v, charging the full latency path
@@ -362,8 +427,9 @@ func (m *Machine) Access(v addr.Virt, write bool) (int64, error) {
 	} else {
 		pa = frame + addr.Phys(v.Offset4K())
 	}
-	tier := mem.TierOf(pa)
-	if tier == mem.Slow {
+	tier := m.sys.TierOf(pa)
+	m.tierAccesses[tier].Inc()
+	if tier != mem.Fast {
 		m.slowAccesses.Inc()
 	}
 
@@ -378,7 +444,7 @@ func (m *Machine) Access(v addr.Virt, write bool) (int64, error) {
 			lat += m.missHook(v, write)
 		}
 		switch {
-		case m.cfg.Mode == EmulatedFault && tier == mem.Slow:
+		case m.cfg.Mode == EmulatedFault && tier != mem.Fast:
 			// Paper methodology: data physically in DRAM; the poison
 			// fault above supplied the emulated slow latency. Charge
 			// DRAM device time for the actual fill.
@@ -435,9 +501,14 @@ func (m *Machine) ResetPageCounts() {
 // Metrics returns a snapshot of the machine counters. The histogram is the
 // live aggregation; callers must not mutate it.
 func (m *Machine) Metrics() Metrics {
+	perTier := make([]uint64, len(m.tierAccesses))
+	for i := range m.tierAccesses {
+		perTier[i] = m.tierAccesses[i].Value()
+	}
 	return Metrics{
 		Accesses:      m.accesses.Value(),
 		SlowAccesses:  m.slowAccesses.Value(),
+		TierAccesses:  perTier,
 		PoisonFaults:  m.trap.TotalFaults(),
 		TLB:           m.tl.Stats(),
 		LLC:           m.llc.Stats(),

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/mem"
+	"thermostat/internal/walk"
+)
+
+func newThreeTierMachine(t *testing.T, mode SlowMemMode) *Machine {
+	t.Helper()
+	cfg := DefaultTieredConfig(
+		mem.DefaultDRAM(64<<20),
+		mem.DefaultCXL(64<<20),
+		mem.DefaultNVM(64<<20),
+	)
+	cfg.Mode = mode
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func tierOf(t *testing.T, m *Machine, v addr.Virt) mem.TierID {
+	t.Helper()
+	tier, err := m.Migrator().TierOfPage(v.Base2M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tier
+}
+
+// TestDemotePromoteChain walks a page down the full three-tier hierarchy one
+// tier at a time and back up, checking tier position, poison monitoring
+// state, and the bottom/top error cases at the ends of the chain.
+func TestDemotePromoteChain(t *testing.T) {
+	m := newThreeTierMachine(t, EmulatedFault)
+	r, err := m.AllocRegion(2<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := r.Start
+
+	// Down: 0 -> 1 -> 2. The page is monitored (poisoned) as soon as it
+	// leaves the top tier and stays monitored below it.
+	for want := mem.TierID(1); want <= 2; want++ {
+		if _, err := m.Demote(v); err != nil {
+			t.Fatalf("demote to %v: %v", want, err)
+		}
+		if got := tierOf(t, m, v); got != want {
+			t.Fatalf("after demote: tier %v, want %v", got, want)
+		}
+		if !m.Trap().IsPoisoned(v) {
+			t.Fatalf("page in tier %v not poisoned", want)
+		}
+	}
+	// Bottom of the hierarchy: no further demotion.
+	if _, err := m.Demote(v); err == nil || !strings.Contains(err.Error(), "bottom") {
+		t.Fatalf("demote past bottom: err = %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Up: 2 -> 1 (still monitored) -> 0 (monitoring stops).
+	if _, err := m.Promote(v); err != nil {
+		t.Fatal(err)
+	}
+	if got := tierOf(t, m, v); got != 1 {
+		t.Fatalf("after promote: tier %v, want 1", got)
+	}
+	if !m.Trap().IsPoisoned(v) {
+		t.Fatal("middle-tier page lost its poison on promotion")
+	}
+	if _, err := m.Promote(v); err != nil {
+		t.Fatal(err)
+	}
+	if got := tierOf(t, m, v); got != mem.Fast {
+		t.Fatalf("after second promote: tier %v, want %v", got, mem.Fast)
+	}
+	if m.Trap().IsPoisoned(v) {
+		t.Fatal("top-tier page still poisoned")
+	}
+	// Top of the hierarchy: no further promotion.
+	if _, err := m.Promote(v); err == nil || !strings.Contains(err.Error(), "top") {
+		t.Fatalf("promote past top: err = %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeviceModePerTierLatency checks that in Device mode an LLC-missing
+// read is charged the owning tier's device latency — each tier its own.
+func TestDeviceModePerTierLatency(t *testing.T) {
+	m := newThreeTierMachine(t, Device)
+	r, err := m.AllocRegion(6<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := walk.NewModel(m.Config().Walk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walkLat := wm.Latency(true, walk.Depth2M, walk.Depth2M)
+
+	for tier := 0; tier < m.Memory().NumTiers(); tier++ {
+		v := r.Start + addr.Virt(uint64(tier)*addr.PageSize2M)
+		// Place the page directly (no poison) so the access path charges
+		// pure walk + device time.
+		if tier != 0 {
+			if _, err := m.Migrator().MoveHuge(v, mem.TierID(tier), m.VPID(), mem.Demotion); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lat, err := m.Access(v, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := walkLat + m.Memory().Tier(mem.TierID(tier)).Spec().ReadLatency
+		if lat != want {
+			t.Errorf("tier %d first-access latency = %d, want %d", tier, lat, want)
+		}
+	}
+
+	met := m.Metrics()
+	if len(met.TierAccesses) != 3 {
+		t.Fatalf("TierAccesses = %v", met.TierAccesses)
+	}
+	for tier, n := range met.TierAccesses {
+		if n != 1 {
+			t.Errorf("TierAccesses[%d] = %d, want 1", tier, n)
+		}
+	}
+	if met.SlowAccesses != 2 {
+		t.Errorf("SlowAccesses = %d, want 2 (both non-top tiers)", met.SlowAccesses)
+	}
+}
+
+// TestScanFootprintByTier places pages in all three tiers and checks the
+// per-tier footprint breakdown agrees with the legacy hot/cold split.
+func TestScanFootprintByTier(t *testing.T) {
+	m := newThreeTierMachine(t, EmulatedFault)
+	r, err := m.AllocRegion(8<<20, true) // four huge pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave page 0 in DRAM; demote page 1 once (CXL); demote page 2 twice
+	// (NVM); split page 3 in DRAM to get a 4K component.
+	p1 := r.Start + addr.Virt(1*addr.PageSize2M)
+	p2 := r.Start + addr.Virt(2*addr.PageSize2M)
+	p3 := r.Start + addr.Virt(3*addr.PageSize2M)
+	if _, err := m.Demote(p1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.Demote(p2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.PageTable().Split(p3); err != nil {
+		t.Fatal(err)
+	}
+
+	fp := ScanFootprint(m, []addr.Range{r})
+	if len(fp.ByTier) != 3 {
+		t.Fatalf("ByTier has %d entries, want 3", len(fp.ByTier))
+	}
+	if fp.ByTier[0].Bytes2M != 2<<20 || fp.ByTier[0].Bytes4K != 2<<20 {
+		t.Errorf("tier 0 = %+v, want 2MB huge + 2MB split", fp.ByTier[0])
+	}
+	if fp.ByTier[1].Total() != 2<<20 || fp.ByTier[2].Total() != 2<<20 {
+		t.Errorf("lower tiers = %+v %+v, want 2MB each", fp.ByTier[1], fp.ByTier[2])
+	}
+	// The legacy hot/cold view is the top tier vs. everything below it.
+	if hot := fp.Hot2M + fp.Hot4K; hot != fp.ByTier[0].Total() {
+		t.Errorf("hot = %d, ByTier[0] = %d", hot, fp.ByTier[0].Total())
+	}
+	if fp.Cold() != fp.ByTier[1].Total()+fp.ByTier[2].Total() {
+		t.Errorf("Cold() = %d, lower tiers = %d", fp.Cold(), fp.ByTier[1].Total()+fp.ByTier[2].Total())
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -27,19 +27,33 @@ type App interface {
 	Tick(m *Machine, nowNs int64) error
 }
 
+// TierBytes is one tier's share of a footprint, by mapping grain.
+type TierBytes struct {
+	Bytes2M uint64
+	Bytes4K uint64
+}
+
+// Total returns the tier's mapped bytes.
+func (t TierBytes) Total() uint64 { return t.Bytes2M + t.Bytes4K }
+
 // Footprint classifies the app's mapped bytes for the paper's
-// footprint-over-time figures.
+// footprint-over-time figures. Hot is the top (fast) tier; Cold aggregates
+// every lower tier of the hierarchy.
 type Footprint struct {
 	Hot2M  uint64
 	Hot4K  uint64
 	Cold2M uint64
 	Cold4K uint64
+	// ByTier, when populated (ScanFootprint does), breaks mapped bytes
+	// down per tier, indexed by mem.TierID. Nil for policies that only
+	// track the hot/cold binary.
+	ByTier []TierBytes
 }
 
 // Total returns all mapped bytes.
 func (f Footprint) Total() uint64 { return f.Hot2M + f.Hot4K + f.Cold2M + f.Cold4K }
 
-// Cold returns cold (slow-tier) bytes.
+// Cold returns cold (non-top-tier) bytes.
 func (f Footprint) Cold() uint64 { return f.Cold2M + f.Cold4K }
 
 // ColdFraction returns cold/total (0 when empty).
@@ -351,9 +365,11 @@ func Slowdown(baseline, policy *RunResult) float64 {
 
 // ScanFootprint classifies every mapped leaf by backing tier and grain,
 // optionally restricted to the given address ranges (nil = whole table).
-// Policies use it to implement Footprint.
+// Policies use it to implement Footprint. The per-tier breakdown covers the
+// machine's whole hierarchy; the Hot/Cold aggregates fold every non-top
+// tier into Cold.
 func ScanFootprint(m *Machine, ranges []addr.Range) Footprint {
-	var fp Footprint
+	fp := Footprint{ByTier: make([]TierBytes, m.Memory().NumTiers())}
 	m.PageTable().Scan(func(base addr.Virt, e *pagetable.Entry, lvl pagetable.Level) {
 		if ranges != nil {
 			in := false
@@ -367,7 +383,8 @@ func ScanFootprint(m *Machine, ranges []addr.Range) Footprint {
 				return
 			}
 		}
-		slow := mem.TierOf(e.Frame) == mem.Slow
+		tier := m.Memory().TierOf(e.Frame)
+		slow := tier != mem.Fast
 		switch {
 		case lvl == pagetable.Level2M && slow:
 			fp.Cold2M += addr.PageSize2M
@@ -377,6 +394,11 @@ func ScanFootprint(m *Machine, ranges []addr.Range) Footprint {
 			fp.Cold4K += addr.PageSize4K
 		default:
 			fp.Hot4K += addr.PageSize4K
+		}
+		if lvl == pagetable.Level2M {
+			fp.ByTier[tier].Bytes2M += addr.PageSize2M
+		} else {
+			fp.ByTier[tier].Bytes4K += addr.PageSize4K
 		}
 	})
 	return fp

@@ -16,7 +16,8 @@ import (
 //     never exceed the tier's Used accounting);
 //  3. split-THP children are physically contiguous within one aligned 2MB
 //     frame (the invariant MoveHuge and Collapse rely on);
-//  4. huge-leaf frames are 2MB-aligned.
+//  4. huge-leaf frames are 2MB-aligned;
+//  5. every mapped frame belongs to a configured tier of the hierarchy.
 //
 // Tests call this after integration runs; it is O(mapped pages).
 func (m *Machine) Verify() error {
@@ -33,6 +34,11 @@ func (m *Machine) Verify() error {
 			return
 		}
 		tier := mem.TierOf(e.Frame)
+		if int(tier) >= m.sys.NumTiers() {
+			err = fmt.Errorf("sim: leaf %s frame %s belongs to tier %d outside the %d-tier hierarchy",
+				base, e.Frame, int(tier), m.sys.NumTiers())
+			return
+		}
 		switch lvl {
 		case pagetable.Level2M:
 			if e.Frame.Base2M() != e.Frame {

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Pre-merge gate: build everything, vet, run all tests with the race
+# detector. Run from the repository root (or via `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+# The harness package runs full scaled experiments; under the race
+# detector it needs well over go test's default 10m budget.
+go test -race -timeout 45m ./...
+
+echo "check: OK"

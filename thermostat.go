@@ -5,7 +5,9 @@
 //
 // The library has three layers:
 //
-//   - A machine model (Machine): two memory tiers, an x86-64-style 4-level
+//   - A machine model (Machine): an ordered hierarchy of memory tiers (the
+//     paper's two-tier DRAM+slow system by default, arbitrary N-tier
+//     hierarchies via DefaultTieredConfig), an x86-64-style 4-level
 //     page table with 2MB huge pages, a two-level TLB, nested (EPT-style)
 //     page walks, an LLC, and BadgerTrap-style PTE-poisoning fault
 //     interception — everything the mechanism interacts with on real
@@ -37,6 +39,7 @@ import (
 	"thermostat/internal/cgroup"
 	"thermostat/internal/core"
 	"thermostat/internal/hugepaged"
+	"thermostat/internal/mem"
 	"thermostat/internal/sim"
 	"thermostat/internal/workload"
 )
@@ -143,6 +146,44 @@ const (
 	// WriteHeavy is the 5:95 read/write mix.
 	WriteHeavy = workload.WriteHeavy
 )
+
+// TierSpec describes one memory tier's hardware: name, capacity,
+// latencies, bandwidth and relative cost.
+type TierSpec = mem.Spec
+
+// TierID identifies a tier by hierarchy position (0 = fastest).
+type TierID = mem.TierID
+
+// MaxTiers bounds hierarchy depth.
+const MaxTiers = mem.MaxTiers
+
+// Device presets for building hierarchies.
+
+// DRAMTier returns the paper's DRAM parameters (80ns, cost 1.0).
+func DRAMTier(capacity uint64) TierSpec { return mem.DefaultDRAM(capacity) }
+
+// CXLTier returns CXL-expander parameters (250ns, half DRAM cost).
+func CXLTier(capacity uint64) TierSpec { return mem.DefaultCXL(capacity) }
+
+// NVMTier returns 3D-XPoint-class parameters (1000ns, a fifth of DRAM cost).
+func NVMTier(capacity uint64) TierSpec { return mem.DefaultNVM(capacity) }
+
+// SlowTier returns the paper's generic slow-memory parameters (1000ns, a
+// third of DRAM cost).
+func SlowTier(capacity uint64) TierSpec { return mem.DefaultSlow(capacity) }
+
+// TierPreset resolves a named device preset ("dram", "cxl", "nvm", "slow").
+func TierPreset(name string, capacity uint64) (TierSpec, bool) {
+	return mem.Preset(name, capacity)
+}
+
+// DefaultTieredConfig returns the default machine over an arbitrary ordered
+// hierarchy, fastest first — the N-tier generalization of
+// DefaultMachineConfig. With more than two tiers, prefer Device mode so each
+// tier's own latency is charged.
+func DefaultTieredConfig(tiers ...TierSpec) MachineConfig {
+	return sim.DefaultTieredConfig(tiers...)
+}
 
 // DefaultMachineConfig returns the paper's evaluated machine: KVM-style
 // nested paging with huge host pages, 64/1024-entry TLBs, 45MB LLC, eight
