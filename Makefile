@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test test-short vet race check check-short bench
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Fast tier: skips the scaled harness integration runs.
+test-short:
+	$(GO) test -short ./...
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +21,10 @@ race:
 # The full pre-merge gate: build, vet, race-enabled tests.
 check:
 	./scripts/check.sh
+
+# The fast gate CI runs on every push: short-tier tests only.
+check-short:
+	SHORT=1 ./scripts/check.sh
 
 # Record the hot-path access benchmark under results/.
 bench:

@@ -8,7 +8,11 @@
 //
 // Experiments: fig1, naive, fig2, table1, table2, fig3, colddata (figures
 // 5-10), fig11, table3, table4, baselines (policy comparison), ablations
-// (design-choice studies).
+// (design-choice studies), ntier (DRAM/CXL/NVM sweep; not part of 'all').
+//
+// Independent runs fan out across -workers goroutines (default: all cores).
+// Results are bit-for-bit identical at any worker count; -workers 1 is the
+// exact old serial path.
 package main
 
 import (
@@ -35,6 +39,7 @@ func main() {
 		svgDir    = flag.String("svg", "", "directory to also render SVG figures into")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		duration  = flag.Float64("duration", 0, "override run length in simulated seconds")
+		workers   = flag.Int("workers", 0, "goroutines fanning independent runs out (0 = all cores, 1 = serial; results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -50,7 +55,7 @@ func main() {
 		}
 	}
 
-	opt := harness.Options{Scale: sc, SlowdownPct: *slowdown}
+	opt := harness.Options{Scale: sc, SlowdownPct: *slowdown, Workers: *workers}
 	if *appsFlag != "" {
 		for _, name := range strings.Split(*appsFlag, ",") {
 			spec, ok := workload.ByName(strings.TrimSpace(name))
@@ -241,6 +246,19 @@ func main() {
 	}
 	if selected("ablations") {
 		runAblations(opt, emit)
+	}
+	// The N-tier sweep is opt-in: it is not part of the paper's evaluation,
+	// so 'all' (the paper regeneration) does not include it.
+	if want["ntier"] {
+		fmt.Fprintln(os.Stderr, "running ntier (DRAM/CXL/NVM sweep)...")
+		reps, err := harness.NTierSweep(opt, harness.DefaultThreeTier(0))
+		if err != nil {
+			fatal(err)
+		}
+		for _, rep := range reps {
+			emit("ntier-traffic-"+rep.App, rep.TrafficTable())
+			emit("ntier-cost-"+rep.App, rep.CostTable())
+		}
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"thermostat/internal/core"
 	"thermostat/internal/harness"
 	"thermostat/internal/mem"
+	"thermostat/internal/pool"
 	"thermostat/internal/report"
 	"thermostat/internal/sim"
 	"thermostat/internal/workload"
@@ -37,6 +38,7 @@ func main() {
 		duration  = flag.Float64("duration", 0, "override run length in (simulated) seconds")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		tiersFlag = flag.String("tiers", "", "comma-separated device presets for an N-tier run, fastest first (presets: "+strings.Join(mem.PresetNames(), ", ")+")")
+		workers   = flag.Int("workers", 0, "goroutines for the baseline+policy run pair (0 = all cores, 1 = serial; results are identical at any setting)")
 		list      = flag.Bool("list", false, "list application models and exit")
 	)
 	flag.Parse()
@@ -81,29 +83,34 @@ func main() {
 		return
 	}
 
-	fmt.Fprintf(os.Stderr, "running %s baseline...\n", spec.Name)
-	base, err := harness.RunBaseline(spec, sc)
-	if err != nil {
-		fatal(err)
-	}
-
-	var outcome *harness.Outcome
+	var runPolicy func() (*harness.Outcome, error)
 	switch *polFlag {
 	case "thermostat":
-		fmt.Fprintf(os.Stderr, "running %s under thermostat (%.0f%% target)...\n", spec.Name, *slowdown)
-		outcome, err = harness.RunThermostat(spec, sc, *slowdown)
+		runPolicy = func() (*harness.Outcome, error) { return harness.RunThermostat(spec, sc, *slowdown) }
 	case "idle-demote":
-		fmt.Fprintf(os.Stderr, "running %s under idle-demote...\n", spec.Name)
 		interval := int64(*idleSecs * 1e9 * float64(sc.TimeDilate) / 4)
-		outcome, err = harness.RunPolicy(spec, sc, &core.IdleDemote{Interval: interval, IdleScans: 4})
+		runPolicy = func() (*harness.Outcome, error) {
+			return harness.RunPolicy(spec, sc, &core.IdleDemote{Interval: interval, IdleScans: 4})
+		}
 	case "all-dram":
-		outcome, err = harness.RunBaseline(spec, sc)
+		runPolicy = func() (*harness.Outcome, error) { return harness.RunBaseline(spec, sc) }
 	default:
 		fatal(fmt.Errorf("unknown policy %q", *polFlag))
 	}
+
+	// The all-DRAM baseline and the policy run are independent simulations;
+	// fan the pair out across -workers goroutines.
+	fmt.Fprintf(os.Stderr, "running %s baseline + %s...\n", spec.Name, *polFlag)
+	outs, err := pool.Map(*workers, []pool.Task[*harness.Outcome]{
+		{Label: spec.Name + "/baseline", Run: func() (*harness.Outcome, error) {
+			return harness.RunBaseline(spec, sc)
+		}},
+		{Label: spec.Name + "/" + *polFlag, Run: runPolicy},
+	})
 	if err != nil {
 		fatal(err)
 	}
+	base, outcome := outs[0], outs[1]
 
 	res := outcome.Result
 	fp := res.FinalFootprint

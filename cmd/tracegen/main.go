@@ -4,12 +4,20 @@
 //	tracegen -app redis -n 1000000 -out redis.trace
 //	tracegen -inspect redis.trace
 //	tracegen -replay redis.trace -policy thermostat
+//
+// It also seeds the trace decoder's go-fuzz corpus from the application
+// generators (committed under internal/trace/testdata/fuzz):
+//
+//	tracegen -fuzz-corpus internal/trace/testdata/fuzz
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strconv"
 
 	"thermostat/internal/addr"
 	"thermostat/internal/core"
@@ -29,6 +37,7 @@ func main() {
 		polFlag = flag.String("policy", "thermostat", "replay policy: thermostat or all-dram")
 		scale   = flag.Uint64("scale", 64, "footprint divisor for recording")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		fuzzDir = flag.String("fuzz-corpus", "", "seed go-fuzz corpus files for internal/trace into this testdata/fuzz directory")
 	)
 	flag.Parse()
 
@@ -45,19 +54,25 @@ func main() {
 		if err := doRecord(*appFlag, *out, *n, *scale, *seed); err != nil {
 			fatal(err)
 		}
+	case *fuzzDir != "":
+		if err := doFuzzCorpus(*fuzzDir, *seed); err != nil {
+			fatal(err)
+		}
 	default:
-		fatal(fmt.Errorf("one of -out, -inspect, or -replay is required"))
+		fatal(fmt.Errorf("one of -out, -inspect, -replay, or -fuzz-corpus is required"))
 	}
 }
 
-func doRecord(appName, path string, n, scale, seed uint64) error {
+// newRecordingApp builds an initialized application model plus the trace
+// region table matching its scaled footprint.
+func newRecordingApp(appName string, scale, seed uint64) (*workload.App, []trace.RegionInfo, error) {
 	spec, ok := workload.ByName(appName)
 	if !ok {
-		return fmt.Errorf("unknown application %q", appName)
+		return nil, nil, fmt.Errorf("unknown application %q", appName)
 	}
 	app, err := workload.NewApp(spec, scale, seed)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	var footprint uint64
 	var regions []trace.RegionInfo
@@ -72,9 +87,28 @@ func doRecord(appName, path string, n, scale, seed uint64) error {
 	}
 	m, err := sim.New(sim.DefaultConfig(footprint*2, footprint))
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	if err := app.Init(m); err != nil {
+		return nil, nil, err
+	}
+	return app, regions, nil
+}
+
+// encodeTrace records n accesses of an initialized app into w.
+func encodeTrace(w *trace.Writer, app *workload.App, n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		v, wr := app.Next()
+		if err := w.Write(trace.Record{V: v, Write: wr}); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func doRecord(appName, path string, n, scale, seed uint64) error {
+	app, regions, err := newRecordingApp(appName, scale, seed)
+	if err != nil {
 		return err
 	}
 	f, err := os.Create(path)
@@ -82,21 +116,72 @@ func doRecord(appName, path string, n, scale, seed uint64) error {
 		return err
 	}
 	defer f.Close()
-	w, err := trace.NewWriter(f, regions, spec.ComputeNs)
+	w, err := trace.NewWriter(f, regions, app.ComputeNs())
 	if err != nil {
 		return err
 	}
-	for i := uint64(0); i < n; i++ {
-		v, wr := app.Next()
-		if err := w.Write(trace.Record{V: v, Write: wr}); err != nil {
+	if err := encodeTrace(w, app, n); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d accesses of %s to %s\n", n, appName, path)
+	return nil
+}
+
+// doFuzzCorpus seeds the go-fuzz corpus for internal/trace from the
+// application generators: realistic encoded streams (plus truncations of
+// them) for FuzzReader, and address triples drawn from the access streams
+// for FuzzRoundTrip. Files use the standard `go test fuzz v1` encoding so
+// `go test -fuzz` and plain `go test` both pick them up from testdata/fuzz.
+func doFuzzCorpus(dir string, seed uint64) error {
+	apps := []string{"redis", "mysql-tpcc", "web-search"}
+	const records = 256
+	for _, name := range apps {
+		app, regions, err := newRecordingApp(name, 4096, seed)
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf, regions, app.ComputeNs())
+		if err != nil {
+			return err
+		}
+		if err := encodeTrace(w, app, records); err != nil {
+			return err
+		}
+		data := buf.Bytes()
+		if err := writeCorpusFile(filepath.Join(dir, "FuzzReader", "seed-"+name),
+			"[]byte("+strconv.Quote(string(data))+")"); err != nil {
+			return err
+		}
+		// A mid-record truncation exercises the decoder's error paths.
+		if err := writeCorpusFile(filepath.Join(dir, "FuzzReader", "seed-"+name+"-truncated"),
+			"[]byte("+strconv.Quote(string(data[:len(data)*2/3]))+")"); err != nil {
+			return err
+		}
+
+		// Three addresses from the live access stream seed the round-trip
+		// fuzzer with realistic virtual-address deltas.
+		var triple [3]uint64
+		for i := range triple {
+			v, _ := app.Next()
+			triple[i] = uint64(v)
+		}
+		if err := writeCorpusFile(filepath.Join(dir, "FuzzRoundTrip", "seed-"+name),
+			fmt.Sprintf("uint64(%d)\nuint64(%d)\nuint64(%d)", triple[0], triple[1], triple[2])); err != nil {
 			return err
 		}
 	}
-	if err := w.Flush(); err != nil {
+	fmt.Printf("seeded fuzz corpus for %d apps under %s\n", len(apps), dir)
+	return nil
+}
+
+// writeCorpusFile writes one go-fuzz corpus entry in `go test fuzz v1`
+// format.
+func writeCorpusFile(path, body string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	fmt.Printf("recorded %d accesses of %s to %s\n", n, spec.Name, path)
-	return nil
+	return os.WriteFile(path, []byte("go test fuzz v1\n"+body+"\n"), 0o644)
 }
 
 func doInspect(path string) error {

@@ -9,6 +9,7 @@ import (
 )
 
 func TestSelectColdSetTakesColdestWithinBudget(t *testing.T) {
+	t.Parallel()
 	ests := []Estimate{
 		{Base: addr.Virt2M(1), Rate: 100},
 		{Base: addr.Virt2M(2), Rate: 5},
@@ -29,6 +30,7 @@ func TestSelectColdSetTakesColdestWithinBudget(t *testing.T) {
 }
 
 func TestSelectColdSetZeroBudgetTakesOnlyZeroRate(t *testing.T) {
+	t.Parallel()
 	ests := []Estimate{
 		{Base: addr.Virt2M(1), Rate: 0},
 		{Base: addr.Virt2M(2), Rate: 0.1},
@@ -40,12 +42,14 @@ func TestSelectColdSetZeroBudgetTakesOnlyZeroRate(t *testing.T) {
 }
 
 func TestSelectColdSetEmpty(t *testing.T) {
+	t.Parallel()
 	if got := SelectColdSet(nil, 100); got != nil {
 		t.Fatalf("got %v", got)
 	}
 }
 
 func TestSelectColdSetDoesNotMutateInput(t *testing.T) {
+	t.Parallel()
 	ests := []Estimate{{Base: addr.Virt2M(1), Rate: 9}, {Base: addr.Virt2M(2), Rate: 1}}
 	SelectColdSet(ests, 100)
 	if ests[0].Rate != 9 {
@@ -54,6 +58,7 @@ func TestSelectColdSetDoesNotMutateInput(t *testing.T) {
 }
 
 func TestSelectPromotionsUnderTargetIsNil(t *testing.T) {
+	t.Parallel()
 	cold := []Measured{{Base: addr.Virt2M(1), Rate: 10}, {Base: addr.Virt2M(2), Rate: 15}}
 	if got := SelectPromotions(cold, 30); got != nil {
 		t.Fatalf("got %v, want nil", got)
@@ -61,6 +66,7 @@ func TestSelectPromotionsUnderTargetIsNil(t *testing.T) {
 }
 
 func TestSelectPromotionsEvictsHottestFirst(t *testing.T) {
+	t.Parallel()
 	cold := []Measured{
 		{Base: addr.Virt2M(1), Rate: 10},
 		{Base: addr.Virt2M(2), Rate: 100},
@@ -75,6 +81,7 @@ func TestSelectPromotionsEvictsHottestFirst(t *testing.T) {
 }
 
 func TestSelectPromotionsAllIfNeeded(t *testing.T) {
+	t.Parallel()
 	cold := []Measured{{Base: addr.Virt2M(1), Rate: 50}, {Base: addr.Virt2M(2), Rate: 50}}
 	if got := SelectPromotions(cold, 0); len(got) != 2 {
 		t.Fatalf("got %v", got)
@@ -84,6 +91,7 @@ func TestSelectPromotionsAllIfNeeded(t *testing.T) {
 // Property: the cold set's cumulative rate never exceeds the budget, and the
 // selection is maximal in count among prefix selections of the sorted order.
 func TestSelectColdSetBudgetProperty(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, budgetRaw uint16) bool {
 		r := rng.New(seed)
 		budget := float64(budgetRaw % 1000)
@@ -124,6 +132,7 @@ func TestSelectColdSetBudgetProperty(t *testing.T) {
 // Property: after applying SelectPromotions the remaining rate is within
 // target (or everything was promoted).
 func TestSelectPromotionsConvergesProperty(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, targetRaw uint16) bool {
 		r := rng.New(seed)
 		target := float64(targetRaw % 500)
@@ -152,6 +161,7 @@ func TestSelectPromotionsConvergesProperty(t *testing.T) {
 }
 
 func TestScaleEstimate(t *testing.T) {
+	t.Parallel()
 	// 30 faults in 10s over 10 poisoned of 100 accessed pages:
 	// observed 3/s scaled by 10x = 30/s.
 	if got := ScaleEstimate(30, 10, 100, 10); got != 30 {

@@ -61,6 +61,10 @@ func testMachine(t *testing.T) *sim.Machine {
 }
 
 func TestEngineDemotesColdPages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	m := testMachine(t)
 	g := testGroup(t, nil)
 	eng := NewEngine(g, 42)
@@ -96,6 +100,10 @@ func TestEngineDemotesColdPages(t *testing.T) {
 }
 
 func TestEngineRespectsSlowdownBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	// With everything uniformly hot, the engine must demote almost nothing:
 	// every page's estimated rate exceeds the fraction-scaled budget.
 	m := testMachine(t)
@@ -113,6 +121,10 @@ func TestEngineRespectsSlowdownBudget(t *testing.T) {
 }
 
 func TestEngineCorrectsMisclassification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	// Phase change: pages cold during the first half become the only hot
 	// pages in the second half. The corrector must promote them.
 	m := testMachine(t)
@@ -171,6 +183,7 @@ func (a *phaseApp) Tick(m *sim.Machine, now int64) error {
 }
 
 func TestEngineFootprintClassification(t *testing.T) {
+	t.Parallel()
 	m := testMachine(t)
 	g := testGroup(t, nil)
 	eng := NewEngine(g, 1)
@@ -195,6 +208,10 @@ func TestEngineFootprintClassification(t *testing.T) {
 }
 
 func TestEngineDemoteFailureWhenSlowFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	cfg := sim.DefaultConfig(64<<20, 0) // no slow memory at all
 	cfg.TLB.L1Entries, cfg.TLB.L2Entries = 4, 16
 	m, err := sim.New(cfg)
@@ -217,6 +234,10 @@ func TestEngineDemoteFailureWhenSlowFull(t *testing.T) {
 }
 
 func TestEngineSamplingRestoresHugeMappings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	// After each full cycle, no page may be left split: sampling must be
 	// invisible to the mapping structure.
 	m := testMachine(t)
@@ -245,6 +266,7 @@ func TestEngineSamplingRestoresHugeMappings(t *testing.T) {
 }
 
 func TestIdleDemotePolicy(t *testing.T) {
+	t.Parallel()
 	m := testMachine(t)
 	pol := &IdleDemote{Interval: 100e6, IdleScans: 3}
 	app := &skewApp{r: rng.New(6), size: 16 << 20, hotPages: 2}
@@ -262,6 +284,7 @@ func TestIdleDemotePolicy(t *testing.T) {
 }
 
 func TestIdleDemotePromotesOnAccess(t *testing.T) {
+	t.Parallel()
 	m := testMachine(t)
 	pol := &IdleDemote{Interval: 100e6, IdleScans: 2}
 	app := &phaseApp{r: rng.New(8), size: 8 << 20, switchNs: 15e8}
@@ -274,6 +297,7 @@ func TestIdleDemotePromotesOnAccess(t *testing.T) {
 }
 
 func TestIdleDemoteValidation(t *testing.T) {
+	t.Parallel()
 	m := testMachine(t)
 	if err := (&IdleDemote{Interval: 0, IdleScans: 1}).Attach(m); err == nil {
 		t.Fatal("zero interval accepted")
@@ -284,6 +308,7 @@ func TestIdleDemoteValidation(t *testing.T) {
 }
 
 func TestEngineSlowdownWithinTargetEndToEnd(t *testing.T) {
+	t.Parallel()
 	// The headline property (§5): measured slowdown stays within the same
 	// order as the target while cold data is found. Run baseline and
 	// Thermostat on identical app/seed.
@@ -316,6 +341,7 @@ func TestEngineSlowdownWithinTargetEndToEnd(t *testing.T) {
 }
 
 func TestEngineAccessors(t *testing.T) {
+	t.Parallel()
 	m := testMachine(t)
 	g := testGroup(t, nil)
 	eng := NewEngine(g, 3)
@@ -342,6 +368,7 @@ func TestEngineAccessors(t *testing.T) {
 }
 
 func TestEngineScopeRestrictsSampling(t *testing.T) {
+	t.Parallel()
 	m := testMachine(t)
 	g := testGroup(t, nil)
 	eng := NewEngine(g, 9)
@@ -383,6 +410,10 @@ func TestEngineScopeRestrictsSampling(t *testing.T) {
 }
 
 func TestEnginePrefilterAffectsEstimates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	// With the prefilter off, estimates scale by 512/nPoisoned instead of
 	// nAccessed/nPoisoned; for a page with a single hot child the naive
 	// strategy usually misses it entirely. Statistical check over one
@@ -409,6 +440,10 @@ func TestEnginePrefilterAffectsEstimates(t *testing.T) {
 }
 
 func TestEngineDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	run := func() (uint64, float64, uint64) {
 		m := testMachine(t)
 		g := testGroup(t, nil)

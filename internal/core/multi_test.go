@@ -18,6 +18,10 @@ type scopedApp struct {
 func (a *scopedApp) Regions() []addr.Range { return []addr.Range{a.region} }
 
 func TestMultiTenantEnginesStayInTheirLane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	// Two tenants share one machine: tenant A is half idle (demotable),
 	// tenant B is uniformly hot (nothing demotable). Each has its own
 	// scoped engine with its own cgroup. A's engine must demote only A's
@@ -88,6 +92,7 @@ func TestMultiTenantEnginesStayInTheirLane(t *testing.T) {
 }
 
 func TestMultiTenantSharedTrapNoInterference(t *testing.T) {
+	t.Parallel()
 	// The regression the delta-count design prevents: engine A's reads
 	// must not erase engine B's pending fault counts. Drive two scoped
 	// engines whose cold pages both fault; both correctors must see their

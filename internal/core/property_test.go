@@ -48,6 +48,7 @@ func randomSpec(r *rng.PCG) workload.Spec {
 // traffic: machine-wide mapping/allocator invariants, non-negative
 // accounting, and classification state consistency.
 func TestEngineInvariantsUnderRandomWorkloads(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("integration property test")
 	}

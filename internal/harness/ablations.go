@@ -9,6 +9,7 @@ import (
 	"thermostat/internal/cgroup"
 	"thermostat/internal/core"
 	"thermostat/internal/counter"
+	"thermostat/internal/pool"
 	"thermostat/internal/report"
 	"thermostat/internal/sim"
 	"thermostat/internal/workload"
@@ -32,19 +33,50 @@ func ablationTable(title string, rows []AblationRow) *report.Table {
 	return t
 }
 
-func ablationRun(spec workload.Spec, sc Scale, base *Outcome,
-	cfgMutate func(*sim.Config), engMutate func(*cgroup.Group, *core.Engine)) (AblationRow, error) {
-	out, err := RunThermostatWith(spec, sc, 3, cfgMutate, engMutate)
+// ablationArm is one configuration of a design-choice sweep.
+type ablationArm struct {
+	config    string
+	cfgMutate func(*sim.Config)
+	engMutate func(*cgroup.Group, *core.Engine)
+}
+
+// runAblationGrid runs the sweep's all-DRAM reference plus every arm as one
+// pooled grid: the arms are independent Thermostat runs, so they fan out
+// across opt.Workers goroutines, and the rows merge back in arm order. Row
+// assembly (which needs the shared baseline) happens after the barrier.
+func runAblationGrid(title string, spec workload.Spec, opt Options, arms []ablationArm) ([]AblationRow, *report.Table, error) {
+	sc := opt.Scale
+	tasks := make([]pool.Task[*Outcome], 0, len(arms)+1)
+	tasks = append(tasks, pool.Task[*Outcome]{
+		Label: title + "/baseline",
+		Run:   func() (*Outcome, error) { return RunBaseline(spec, sc) },
+	})
+	for _, arm := range arms {
+		arm := arm
+		tasks = append(tasks, pool.Task[*Outcome]{
+			Label: title + "/" + arm.config,
+			Run: func() (*Outcome, error) {
+				return RunThermostatWith(spec, sc, 3, arm.cfgMutate, arm.engMutate)
+			},
+		})
+	}
+	outs, err := pool.Map(opt.Workers, tasks)
 	if err != nil {
-		return AblationRow{}, err
+		return nil, nil, err
 	}
-	row := AblationRow{
-		ColdFraction: out.Result.MeanColdFraction(sc.WarmupNs),
-		Slowdown:     sim.Slowdown(base.Result, out.Result),
-		PoisonFaults: out.Result.Metrics.PoisonFaults,
-		Promotions:   out.Engine.Stats().Promotions,
+	base := outs[0]
+	rows := make([]AblationRow, len(arms))
+	for i, arm := range arms {
+		out := outs[i+1]
+		rows[i] = AblationRow{
+			Config:       arm.config,
+			ColdFraction: out.Result.MeanColdFraction(sc.WarmupNs),
+			Slowdown:     sim.Slowdown(base.Result, out.Result),
+			PoisonFaults: out.Result.Metrics.PoisonFaults,
+			Promotions:   out.Engine.Stats().Promotions,
+		}
 	}
-	return row, nil
+	return rows, ablationTable(title, rows), nil
 }
 
 // AblationPoisonBudget sweeps K, the per-huge-page poison budget (§3.2's
@@ -52,29 +84,22 @@ func ablationRun(spec workload.Spec, sc Scale, base *Outcome,
 // little extra accuracy.
 func AblationPoisonBudget(spec workload.Spec, opt Options) ([]AblationRow, *report.Table, error) {
 	opt = opt.withDefaults()
-	base, err := RunBaseline(spec, opt.Scale)
-	if err != nil {
-		return nil, nil, err
-	}
-	var rows []AblationRow
+	var arms []ablationArm
 	for _, k := range []int{10, 25, 50, 100} {
 		k := k
-		row, err := ablationRun(spec, opt.Scale, base, nil,
-			func(g *cgroup.Group, _ *core.Engine) {
+		arms = append(arms, ablationArm{
+			config: fmt.Sprintf("K=%d", k),
+			engMutate: func(g *cgroup.Group, _ *core.Engine) {
 				p := g.Params()
 				p.MaxPoisonPerHuge = k
 				if err := g.Update(p); err != nil {
 					panic(err)
 				}
-			})
-		if err != nil {
-			return nil, nil, err
-		}
-		row.Config = fmt.Sprintf("K=%d", k)
-		rows = append(rows, row)
+			},
+		})
 	}
-	return rows, ablationTable(
-		"Ablation: poison budget K per sampled huge page ("+spec.Name+")", rows), nil
+	return runAblationGrid(
+		"Ablation: poison budget K per sampled huge page ("+spec.Name+")", spec, opt, arms)
 }
 
 // AblationSampleFraction sweeps the fraction of huge pages sampled per
@@ -82,56 +107,42 @@ func AblationPoisonBudget(spec workload.Spec, opt Options) ([]AblationRow, *repo
 // and faults.
 func AblationSampleFraction(spec workload.Spec, opt Options) ([]AblationRow, *report.Table, error) {
 	opt = opt.withDefaults()
-	base, err := RunBaseline(spec, opt.Scale)
-	if err != nil {
-		return nil, nil, err
-	}
-	var rows []AblationRow
+	var arms []ablationArm
 	for _, f := range []float64{0.01, 0.05, 0.20} {
 		f := f
-		row, err := ablationRun(spec, opt.Scale, base, nil,
-			func(g *cgroup.Group, _ *core.Engine) {
+		arms = append(arms, ablationArm{
+			config: fmt.Sprintf("f=%.0f%%", f*100),
+			engMutate: func(g *cgroup.Group, _ *core.Engine) {
 				p := g.Params()
 				p.SampleFraction = f
 				if err := g.Update(p); err != nil {
 					panic(err)
 				}
-			})
-		if err != nil {
-			return nil, nil, err
-		}
-		row.Config = fmt.Sprintf("f=%.0f%%", f*100)
-		rows = append(rows, row)
+			},
+		})
 	}
-	return rows, ablationTable(
-		"Ablation: sample fraction per scan interval ("+spec.Name+")", rows), nil
+	return runAblationGrid(
+		"Ablation: sample fraction per scan interval ("+spec.Name+")", spec, opt, arms)
 }
 
 // AblationPrefilter compares the §3.2 two-step refinement (poison only
 // accessed children) against naive uniform child selection.
 func AblationPrefilter(spec workload.Spec, opt Options) ([]AblationRow, *report.Table, error) {
 	opt = opt.withDefaults()
-	base, err := RunBaseline(spec, opt.Scale)
-	if err != nil {
-		return nil, nil, err
-	}
-	var rows []AblationRow
+	var arms []ablationArm
 	for _, on := range []bool{true, false} {
 		on := on
-		row, err := ablationRun(spec, opt.Scale, base, nil,
-			func(_ *cgroup.Group, e *core.Engine) { e.SetPrefilter(on) })
-		if err != nil {
-			return nil, nil, err
+		config := "accessed-bit prefilter"
+		if !on {
+			config = "uniform children (naive)"
 		}
-		if on {
-			row.Config = "accessed-bit prefilter"
-		} else {
-			row.Config = "uniform children (naive)"
-		}
-		rows = append(rows, row)
+		arms = append(arms, ablationArm{
+			config:    config,
+			engMutate: func(_ *cgroup.Group, e *core.Engine) { e.SetPrefilter(on) },
+		})
 	}
-	return rows, ablationTable(
-		"Ablation: Accessed-bit pre-filter before poisoning ("+spec.Name+")", rows), nil
+	return runAblationGrid(
+		"Ablation: Accessed-bit pre-filter before poisoning ("+spec.Name+")", spec, opt, arms)
 }
 
 // rotatorSpec is a working-set-change workload: two equal regions swap hot
@@ -158,77 +169,56 @@ func AblationCorrection(opt Options) ([]AblationRow, *report.Table, error) {
 	// simulated time; rotation is not compressed like growth is).
 	spec := rotatorSpec(opt.Scale.DurationNs / 3)
 
-	base, err := RunBaseline(spec, opt.Scale)
-	if err != nil {
-		return nil, nil, err
-	}
-	var rows []AblationRow
+	var arms []ablationArm
 	for _, on := range []bool{true, false} {
 		on := on
-		row, err := ablationRun(spec, opt.Scale, base, nil,
-			func(_ *cgroup.Group, e *core.Engine) { e.SetCorrection(on) })
-		if err != nil {
-			return nil, nil, err
+		config := "corrector on"
+		if !on {
+			config = "corrector off"
 		}
-		if on {
-			row.Config = "corrector on"
-		} else {
-			row.Config = "corrector off"
-		}
-		rows = append(rows, row)
+		arms = append(arms, ablationArm{
+			config:    config,
+			engMutate: func(_ *cgroup.Group, e *core.Engine) { e.SetCorrection(on) },
+		})
 	}
-	return rows, ablationTable(
-		"Ablation: §3.5 mis-classification correction under working-set rotation", rows), nil
+	return runAblationGrid(
+		"Ablation: §3.5 mis-classification correction under working-set rotation", spec, opt, arms)
 }
 
 // AblationTrapPlacement compares BadgerTrap in the guest (the paper's
 // choice) against the host, where every poison fault costs a vmexit (§4.2).
 func AblationTrapPlacement(spec workload.Spec, opt Options) ([]AblationRow, *report.Table, error) {
 	opt = opt.withDefaults()
-	base, err := RunBaseline(spec, opt.Scale)
-	if err != nil {
-		return nil, nil, err
-	}
-	var rows []AblationRow
+	var arms []ablationArm
 	for _, inHost := range []bool{false, true} {
 		inHost := inHost
-		row, err := ablationRun(spec, opt.Scale, base,
-			func(cfg *sim.Config) { cfg.VM.TrapInHost = inHost }, nil)
-		if err != nil {
-			return nil, nil, err
-		}
+		config := "trap in guest"
 		if inHost {
-			row.Config = "trap in host (vmexit per fault)"
-		} else {
-			row.Config = "trap in guest"
+			config = "trap in host (vmexit per fault)"
 		}
-		rows = append(rows, row)
+		arms = append(arms, ablationArm{
+			config:    config,
+			cfgMutate: func(cfg *sim.Config) { cfg.VM.TrapInHost = inHost },
+		})
 	}
-	return rows, ablationTable(
-		"Ablation: BadgerTrap placement ("+spec.Name+")", rows), nil
+	return runAblationGrid(
+		"Ablation: BadgerTrap placement ("+spec.Name+")", spec, opt, arms)
 }
 
 // AblationSlowMemMode compares the paper's fault-based slow-memory
 // emulation against a device-latency model of real slow memory.
 func AblationSlowMemMode(spec workload.Spec, opt Options) ([]AblationRow, *report.Table, error) {
 	opt = opt.withDefaults()
-	base, err := RunBaseline(spec, opt.Scale)
-	if err != nil {
-		return nil, nil, err
-	}
-	var rows []AblationRow
+	var arms []ablationArm
 	for _, mode := range []sim.SlowMemMode{sim.EmulatedFault, sim.Device} {
 		mode := mode
-		row, err := ablationRun(spec, opt.Scale, base,
-			func(cfg *sim.Config) { cfg.Mode = mode }, nil)
-		if err != nil {
-			return nil, nil, err
-		}
-		row.Config = mode.String()
-		rows = append(rows, row)
+		arms = append(arms, ablationArm{
+			config:    mode.String(),
+			cfgMutate: func(cfg *sim.Config) { cfg.Mode = mode },
+		})
 	}
-	return rows, ablationTable(
-		"Ablation: slow-memory model ("+spec.Name+")", rows), nil
+	return runAblationGrid(
+		"Ablation: slow-memory model ("+spec.Name+")", spec, opt, arms)
 }
 
 // CounterRow compares one §6.1 access-counting backend against ground
@@ -326,20 +316,40 @@ func AblationCounters(opt Options) ([]CounterRow, *report.Table, error) {
 		return mean, thr, nil
 	}
 
-	_, baseThr, err := run(nil)
+	// The uninstrumented reference and the three backends are independent
+	// measurement runs; fan all four out and assemble rows after the merge.
+	type measurement struct{ relErr, thr float64 }
+	tasks := []pool.Task[measurement]{{
+		Label: "ablation-counters/baseline",
+		Run: func() (measurement, error) {
+			_, thr, err := run(nil)
+			return measurement{thr: thr}, err
+		},
+	}}
+	for _, s := range setups {
+		s := s
+		tasks = append(tasks, pool.Task[measurement]{
+			Label: "ablation-counters/" + s.name,
+			Run: func() (measurement, error) {
+				relErr, thr, err := run(s.mk)
+				if err != nil {
+					return measurement{}, fmt.Errorf("counters %s: %w", s.name, err)
+				}
+				return measurement{relErr: relErr, thr: thr}, nil
+			},
+		})
+	}
+	ms, err := pool.Map(opt.Workers, tasks)
 	if err != nil {
 		return nil, nil, err
 	}
+	baseThr := ms[0].thr
 	var rows []CounterRow
-	for _, s := range setups {
-		relErr, thr, err := run(s.mk)
-		if err != nil {
-			return nil, nil, fmt.Errorf("counters %s: %w", s.name, err)
-		}
+	for i, s := range setups {
 		rows = append(rows, CounterRow{
 			Backend:    s.name,
-			MeanRelErr: relErr,
-			Slowdown:   baseThr/thr - 1,
+			MeanRelErr: ms[i+1].relErr,
+			Slowdown:   baseThr/ms[i+1].thr - 1,
 		})
 	}
 	t := report.NewTable("Ablation: §6.1 access-counting mechanisms (redis, 1/8 of pages armed)",

@@ -14,6 +14,7 @@ func ablationOpt() Options {
 }
 
 func TestAblationPoisonBudget(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("integration run")
 	}
@@ -41,6 +42,7 @@ func TestAblationPoisonBudget(t *testing.T) {
 }
 
 func TestAblationCorrection(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("integration run")
 	}
@@ -69,6 +71,7 @@ func TestAblationCorrection(t *testing.T) {
 }
 
 func TestAblationTrapPlacement(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("integration run")
 	}
@@ -85,6 +88,7 @@ func TestAblationTrapPlacement(t *testing.T) {
 }
 
 func TestAblationCounters(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("integration run")
 	}
@@ -117,6 +121,7 @@ func TestAblationCounters(t *testing.T) {
 }
 
 func TestCompareBaselines(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("integration run")
 	}

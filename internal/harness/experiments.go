@@ -6,6 +6,7 @@ import (
 
 	"thermostat/internal/core"
 	"thermostat/internal/mem"
+	"thermostat/internal/pool"
 	"thermostat/internal/pricing"
 	"thermostat/internal/report"
 	"thermostat/internal/sim"
@@ -21,6 +22,11 @@ type Options struct {
 	Apps []workload.Spec
 	// SlowdownPct is the Thermostat target (default 3).
 	SlowdownPct float64
+	// Workers bounds the goroutines fanning independent runs out: 0 uses
+	// every core (GOMAXPROCS), 1 runs the exact old serial path. Results
+	// are bit-for-bit identical at any setting — each run owns its own
+	// machine and seeded RNG (see DESIGN.md's determinism contract).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -47,25 +53,39 @@ type AppRun struct {
 }
 
 // RunAll executes the paired baseline/Thermostat runs for every app — the
-// shared input of Figures 3 and 5-10 and Tables 3 and 4.
+// shared input of Figures 3 and 5-10 and Tables 3 and 4. The per-app pairs
+// are independent and fan out across opt.Workers goroutines; the baseline
+// and Thermostat runs of one app stay paired in a single task so the serial
+// order within each pair is preserved.
 func RunAll(opt Options) (map[string]*AppRun, error) {
 	opt = opt.withDefaults()
-	out := make(map[string]*AppRun, len(opt.Apps))
-	for _, spec := range opt.Apps {
-		base, err := RunBaseline(spec, opt.Scale)
-		if err != nil {
-			return nil, err
-		}
-		th, err := RunThermostat(spec, opt.Scale, opt.SlowdownPct)
-		if err != nil {
-			return nil, err
-		}
-		out[spec.Name] = &AppRun{
-			Base:         base,
-			Thermo:       th,
-			Slowdown:     sim.Slowdown(base.Result, th.Result),
-			ColdFraction: th.Result.MeanColdFraction(opt.Scale.WarmupNs),
-		}
+	tasks := make([]pool.Task[*AppRun], len(opt.Apps))
+	for i, spec := range opt.Apps {
+		spec := spec
+		tasks[i] = pool.Task[*AppRun]{Label: "runall/" + spec.Name, Run: func() (*AppRun, error) {
+			base, err := RunBaseline(spec, opt.Scale)
+			if err != nil {
+				return nil, err
+			}
+			th, err := RunThermostat(spec, opt.Scale, opt.SlowdownPct)
+			if err != nil {
+				return nil, err
+			}
+			return &AppRun{
+				Base:         base,
+				Thermo:       th,
+				Slowdown:     sim.Slowdown(base.Result, th.Result),
+				ColdFraction: th.Result.MeanColdFraction(opt.Scale.WarmupNs),
+			}, nil
+		}}
+	}
+	runs, err := pool.Map(opt.Workers, tasks)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*AppRun, len(runs))
+	for i, r := range runs {
+		out[opt.Apps[i].Name] = r
 	}
 	return out, nil
 }
@@ -98,12 +118,23 @@ func Fig1(opt Options) (*Fig1Result, error) {
 	if sc.WarmupNs >= sc.DurationNs {
 		sc.WarmupNs = sc.DurationNs / 5
 	}
-	for _, spec := range opt.Apps {
-		pol := &scanOnly{interval: sc.PeriodNs}
-		if _, err := RunPolicy(spec, sc, pol); err != nil {
-			return nil, err
-		}
-		res.IdleFrac[spec.Name] = pol.scanner.IdleFraction(idleScans)
+	tasks := make([]pool.Task[float64], len(opt.Apps))
+	for i, spec := range opt.Apps {
+		spec := spec
+		tasks[i] = pool.Task[float64]{Label: "fig1/" + spec.Name, Run: func() (float64, error) {
+			pol := &scanOnly{interval: sc.PeriodNs}
+			if _, err := RunPolicy(spec, sc, pol); err != nil {
+				return 0, err
+			}
+			return pol.scanner.IdleFraction(idleScans), nil
+		}}
+	}
+	fracs, err := pool.Map(opt.Workers, tasks)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range opt.Apps {
+		res.IdleFrac[spec.Name] = fracs[i]
 		res.order = append(res.order, spec.Name)
 	}
 	return res, nil
@@ -165,17 +196,22 @@ func NaivePlacement(spec workload.Spec, opt Options) (*NaiveResult, error) {
 			p.RotatePeriodNs = 20e9
 		}
 	}
-	base, err := RunBaseline(spec, sc)
-	if err != nil {
-		return nil, err
-	}
 	// The paper's naive baseline has no correction mechanism: pages placed
-	// on idle-bit evidence stay in slow memory.
+	// on idle-bit evidence stay in slow memory. The all-DRAM reference and
+	// the naive run are independent; fan them out.
 	pol := &core.IdleDemote{Interval: sc.PeriodNs, IdleScans: idleScans, NoPromote: true}
-	naive, err := RunPolicy(spec, sc, pol)
+	outs, err := pool.Map(opt.Workers, []pool.Task[*Outcome]{
+		{Label: "naive/" + spec.Name + "/baseline", Run: func() (*Outcome, error) {
+			return RunBaseline(spec, sc)
+		}},
+		{Label: "naive/" + spec.Name + "/idle-demote", Run: func() (*Outcome, error) {
+			return RunPolicy(spec, sc, pol)
+		}},
+	})
 	if err != nil {
 		return nil, err
 	}
+	base, naive := outs[0], outs[1]
 	return &NaiveResult{
 		App:          spec.Name,
 		Slowdown:     sim.Slowdown(base.Result, naive.Result),
@@ -278,16 +314,25 @@ func Table1(opt Options) ([]Table1Row, error) {
 	if sc.WarmupNs >= sc.DurationNs {
 		sc.WarmupNs = sc.DurationNs / 5
 	}
+	grid := make([][]pool.Task[*Outcome], len(opt.Apps))
+	for i, spec := range opt.Apps {
+		spec := spec
+		grid[i] = []pool.Task[*Outcome]{
+			{Label: "table1/" + spec.Name + "/2M", Run: func() (*Outcome, error) {
+				return RunPageMode(spec, sc, true)
+			}},
+			{Label: "table1/" + spec.Name + "/4K", Run: func() (*Outcome, error) {
+				return RunPageMode(spec, sc, false)
+			}},
+		}
+	}
+	outs, err := pool.Grid(opt.Workers, grid)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Table1Row
-	for _, spec := range opt.Apps {
-		huge, err := RunPageMode(spec, sc, true)
-		if err != nil {
-			return nil, err
-		}
-		small, err := RunPageMode(spec, sc, false)
-		if err != nil {
-			return nil, err
-		}
+	for i, spec := range opt.Apps {
+		huge, small := outs[i][0], outs[i][1]
 		gain := huge.Result.Throughput/small.Result.Throughput - 1
 		rows = append(rows, Table1Row{App: spec.Name, GainPct: gain * 100})
 	}
@@ -453,20 +498,42 @@ type Fig11Row struct {
 	Measured     float64 // measured slowdown fraction
 }
 
-// Fig11 sweeps the tolerable-slowdown knob over {3, 6, 10}%.
+// fig11Targets are the tolerable-slowdown points the sweep visits.
+var fig11Targets = []float64{3, 6, 10}
+
+// Fig11 sweeps the tolerable-slowdown knob over {3, 6, 10}%. Every cell of
+// the app × target grid (plus each app's all-DRAM reference) is an
+// independent run; the whole grid fans out across opt.Workers goroutines
+// and merges back in app-major, target-minor order.
 func Fig11(opt Options) ([]Fig11Row, error) {
 	opt = opt.withDefaults()
-	var rows []Fig11Row
-	for _, spec := range opt.Apps {
-		base, err := RunBaseline(spec, opt.Scale)
-		if err != nil {
-			return nil, err
+	grid := make([][]pool.Task[*Outcome], len(opt.Apps))
+	for i, spec := range opt.Apps {
+		spec := spec
+		row := []pool.Task[*Outcome]{
+			{Label: "fig11/" + spec.Name + "/baseline", Run: func() (*Outcome, error) {
+				return RunBaseline(spec, opt.Scale)
+			}},
 		}
-		for _, pct := range []float64{3, 6, 10} {
-			th, err := RunThermostat(spec, opt.Scale, pct)
-			if err != nil {
-				return nil, err
-			}
+		for _, pct := range fig11Targets {
+			pct := pct
+			row = append(row, pool.Task[*Outcome]{
+				Label: fmt.Sprintf("fig11/%s/%g%%", spec.Name, pct),
+				Run: func() (*Outcome, error) {
+					return RunThermostat(spec, opt.Scale, pct)
+				}})
+		}
+		grid[i] = row
+	}
+	outs, err := pool.Grid(opt.Workers, grid)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig11Row
+	for i, spec := range opt.Apps {
+		base := outs[i][0]
+		for j, pct := range fig11Targets {
+			th := outs[i][j+1]
 			rows = append(rows, Fig11Row{
 				App:          spec.Name,
 				SlowdownPct:  pct,

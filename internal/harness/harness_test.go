@@ -8,6 +8,7 @@ import (
 )
 
 func TestScaleValidate(t *testing.T) {
+	t.Parallel()
 	for _, sc := range []Scale{Repro(), Bench(), Tiny()} {
 		if err := sc.Validate(); err != nil {
 			t.Errorf("%s: %v", sc.Name, err)
@@ -26,6 +27,7 @@ func TestScaleValidate(t *testing.T) {
 }
 
 func TestScaleConversions(t *testing.T) {
+	t.Parallel()
 	sc := Repro() // F=4, period 2s
 	if got := sc.PaperRate(7500); got != 30000 {
 		t.Fatalf("PaperRate = %v", got)
@@ -36,6 +38,7 @@ func TestScaleConversions(t *testing.T) {
 }
 
 func TestMachineConfigScaling(t *testing.T) {
+	t.Parallel()
 	sc := Repro()
 	cfg := sc.MachineConfig(workload.Redis(), true)
 	if cfg.TLB.L1Entries != 4 || cfg.TLB.L2Entries != 64 {
@@ -60,6 +63,7 @@ func TestMachineConfigScaling(t *testing.T) {
 }
 
 func TestGroupParamsFromScale(t *testing.T) {
+	t.Parallel()
 	sc := Repro()
 	g, err := sc.Group(3)
 	if err != nil {
@@ -76,6 +80,7 @@ func TestGroupParamsFromScale(t *testing.T) {
 }
 
 func TestRunAllTinyTwoApps(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("integration run")
 	}
@@ -158,6 +163,7 @@ func TestRunAllTinyTwoApps(t *testing.T) {
 }
 
 func TestTable1TinyOrdering(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("integration run")
 	}
@@ -186,6 +192,7 @@ func TestTable1TinyOrdering(t *testing.T) {
 }
 
 func TestFig2ProducesDispersedScatter(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("integration run")
 	}
@@ -211,6 +218,7 @@ func TestFig2ProducesDispersedScatter(t *testing.T) {
 }
 
 func TestFig1IdleFractionsShape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("integration run")
 	}

@@ -9,6 +9,7 @@ import (
 
 	"thermostat/internal/core"
 	"thermostat/internal/mem"
+	"thermostat/internal/pool"
 	"thermostat/internal/pricing"
 	"thermostat/internal/report"
 	"thermostat/internal/sim"
@@ -91,6 +92,28 @@ func RunNTier(spec workload.Spec, sc Scale, tiers []mem.Spec, slowdownPct float6
 		return nil, fmt.Errorf("harness: %s on %d tiers: %w", spec.Name, len(tiers), err)
 	}
 	return &Outcome{Spec: spec, Scale: sc, Machine: m, App: app, Engine: eng, Result: res}, nil
+}
+
+// NTierSweep runs every app in opt.Apps through RunNTier on the given
+// hierarchy and returns the analyzed reports in app order. The per-app runs
+// are independent and fan out across opt.Workers goroutines.
+func NTierSweep(opt Options, tiers []mem.Spec) ([]*NTierReport, error) {
+	opt = opt.withDefaults()
+	tasks := make([]pool.Task[*NTierReport], len(opt.Apps))
+	for i, spec := range opt.Apps {
+		spec := spec
+		tasks[i] = pool.Task[*NTierReport]{
+			Label: fmt.Sprintf("ntier/%s/%d-tiers", spec.Name, len(tiers)),
+			Run: func() (*NTierReport, error) {
+				out, err := RunNTier(spec, opt.Scale, tiers, opt.SlowdownPct)
+				if err != nil {
+					return nil, err
+				}
+				return AnalyzeNTier(out)
+			},
+		}
+	}
+	return pool.Map(opt.Workers, tasks)
 }
 
 // TierUsage is one tier's slice of the final placement.

@@ -8,6 +8,10 @@ import (
 )
 
 func TestRunNTierThreeTierEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	sc := Tiny()
 	out, err := RunNTier(workload.Redis(), sc, DefaultThreeTier(0), 3)
 	if err != nil {
@@ -82,6 +86,7 @@ func TestRunNTierThreeTierEndToEnd(t *testing.T) {
 }
 
 func TestTieredMachineConfigDilation(t *testing.T) {
+	t.Parallel()
 	sc := Tiny()
 	cfg := sc.TieredMachineConfig(workload.Redis(), DefaultThreeTier(0))
 	if len(cfg.Tiers) != 3 {

@@ -5,6 +5,7 @@ import (
 
 	"thermostat/internal/addr"
 	"thermostat/internal/core"
+	"thermostat/internal/pool"
 	"thermostat/internal/report"
 	"thermostat/internal/sim"
 	"thermostat/internal/workload"
@@ -130,45 +131,48 @@ func CompareBaselines(spec workload.Spec, opt Options) ([]BaselineRow, *report.T
 	opt = opt.withDefaults()
 	sc := opt.Scale
 
-	base, err := RunBaseline(spec, sc)
+	// The four arms are independent runs (profile-guided bundles its own
+	// profiling pass); fan them out and assemble rows after the merge.
+	outs, err := pool.Map(opt.Workers, []pool.Task[*Outcome]{
+		{Label: "baselines/" + spec.Name + "/all-dram", Run: func() (*Outcome, error) {
+			return RunBaseline(spec, sc)
+		}},
+		{Label: "baselines/" + spec.Name + "/profile-guided", Run: func() (*Outcome, error) {
+			return RunProfileGuided(spec, sc, opt.SlowdownPct)
+		}},
+		// The paper's naive baseline: place whatever looked idle, with no
+		// correction mechanism and no way to bound the resulting slowdown.
+		{Label: "baselines/" + spec.Name + "/idle-demote", Run: func() (*Outcome, error) {
+			return RunPolicy(spec, sc, &core.IdleDemote{
+				Interval: sc.PeriodNs, IdleScans: 4, NoPromote: true,
+			})
+		}},
+		{Label: "baselines/" + spec.Name + "/thermostat", Run: func() (*Outcome, error) {
+			return RunThermostat(spec, sc, opt.SlowdownPct)
+		}},
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	rows := []BaselineRow{{Policy: "all-dram", ColdFraction: 0, Slowdown: 0}}
-
-	pg, err := RunProfileGuided(spec, sc, opt.SlowdownPct)
-	if err != nil {
-		return nil, nil, err
+	base, pg, idle, th := outs[0], outs[1], outs[2], outs[3]
+	rows := []BaselineRow{
+		{Policy: "all-dram", ColdFraction: 0, Slowdown: 0},
+		{
+			Policy:       "profile-guided (X-Mem-like)",
+			ColdFraction: pg.Result.MeanColdFraction(sc.WarmupNs),
+			Slowdown:     sim.Slowdown(base.Result, pg.Result),
+		},
+		{
+			Policy:       "idle-demote (kstaled-like)",
+			ColdFraction: idle.Result.MeanColdFraction(sc.WarmupNs),
+			Slowdown:     sim.Slowdown(base.Result, idle.Result),
+		},
+		{
+			Policy:       "thermostat",
+			ColdFraction: th.Result.MeanColdFraction(sc.WarmupNs),
+			Slowdown:     sim.Slowdown(base.Result, th.Result),
+		},
 	}
-	rows = append(rows, BaselineRow{
-		Policy:       "profile-guided (X-Mem-like)",
-		ColdFraction: pg.Result.MeanColdFraction(sc.WarmupNs),
-		Slowdown:     sim.Slowdown(base.Result, pg.Result),
-	})
-
-	// The paper's naive baseline: place whatever looked idle, with no
-	// correction mechanism and no way to bound the resulting slowdown.
-	idle, err := RunPolicy(spec, sc, &core.IdleDemote{
-		Interval: sc.PeriodNs, IdleScans: 4, NoPromote: true,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	rows = append(rows, BaselineRow{
-		Policy:       "idle-demote (kstaled-like)",
-		ColdFraction: idle.Result.MeanColdFraction(sc.WarmupNs),
-		Slowdown:     sim.Slowdown(base.Result, idle.Result),
-	})
-
-	th, err := RunThermostat(spec, sc, opt.SlowdownPct)
-	if err != nil {
-		return nil, nil, err
-	}
-	rows = append(rows, BaselineRow{
-		Policy:       "thermostat",
-		ColdFraction: th.Result.MeanColdFraction(sc.WarmupNs),
-		Slowdown:     sim.Slowdown(base.Result, th.Result),
-	})
 
 	t := report.NewTable("Placement policy comparison ("+spec.Name+")",
 		"policy", "cold_fraction_pct", "slowdown_pct")

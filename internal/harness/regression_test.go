@@ -39,9 +39,11 @@ var goldenTwoTier = []struct {
 }
 
 func TestTwoTierGoldenRegression(t *testing.T) {
+	t.Parallel()
 	for _, g := range goldenTwoTier {
 		g := g
 		t.Run(g.spec.Name, func(t *testing.T) {
+			t.Parallel()
 			out, err := RunThermostat(g.spec, Tiny(), 3)
 			if err != nil {
 				t.Fatal(err)
@@ -92,5 +94,84 @@ func TestTwoTierGoldenRegression(t *testing.T) {
 					met.TierAccesses[1], met.SlowAccesses)
 			}
 		})
+	}
+}
+
+// TestThreeTierGoldenRegression pins the deterministic three-tier results
+// (Redis on the DRAM/CXL/NVM hierarchy, Tiny scale, 3% target, seed 1)
+// captured from the PR 1 N-tier path, so tier-relative demotion, idle-page
+// sinking, and the pair traffic matrix are regression-locked exactly like
+// the two-tier configuration.
+func TestThreeTierGoldenRegression(t *testing.T) {
+	t.Parallel()
+	out, err := RunNTier(workload.Redis(), Tiny(), DefaultThreeTier(0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := out.Engine.Stats()
+	fp := out.Result.FinalFootprint
+	met := out.Result.Metrics
+
+	check := func(what string, got, want uint64) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s = %d, want %d (three-tier determinism broken)", what, got, want)
+		}
+	}
+	check("Periods", st.Periods, 20)
+	check("Sampled", st.Sampled, 20)
+	check("Demotions", st.Demotions, 2)
+	check("Promotions", st.Promotions, 0)
+	check("Sinks", st.Sinks, 1)
+	check("DemoteFailures", st.DemoteFailures, 0)
+	check("Hot2M", fp.Hot2M, 67108864)
+	check("Hot4K", fp.Hot4K, 4194304)
+	check("Cold2M", fp.Cold2M, 4194304)
+	check("Cold4K", fp.Cold4K, 0)
+	check("Ops", out.Result.Ops, 6412880)
+	check("Accesses", met.Accesses, 6412880)
+	check("SlowAccesses", met.SlowAccesses, 2228)
+	check("PoisonFaults", met.PoisonFaults, 151366)
+	if met.ClockNs != 8000001084 {
+		t.Errorf("ClockNs = %d, want 8000001084", met.ClockNs)
+	}
+	if got := out.Engine.ColdPages(); got != 2 {
+		t.Errorf("ColdPages = %d, want 2", got)
+	}
+	// Per-tier placement: the sunk page sits in NVM, its sibling in CXL.
+	if n := len(fp.ByTier); n != 3 {
+		t.Fatalf("ByTier has %d tiers, want 3", n)
+	}
+	check("tier0 bytes", fp.ByTier[0].Total(), 71303168)
+	check("tier1 bytes", fp.ByTier[1].Total(), 2097152)
+	check("tier2 bytes", fp.ByTier[2].Total(), 2097152)
+	if want := []uint64{6410652, 2228, 0}; len(met.TierAccesses) != 3 ||
+		met.TierAccesses[0] != want[0] || met.TierAccesses[1] != want[1] || met.TierAccesses[2] != want[2] {
+		t.Errorf("TierAccesses = %v, want %v", met.TierAccesses, want)
+	}
+
+	rep, err := AnalyzeNTier(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Savings; got < 0.036111110 || got > 0.036111112 {
+		t.Errorf("Savings = %.9f, want 0.036111111", got)
+	}
+	wantPairs := []struct {
+		src, dst                int
+		bytes, pages2M, pages4K uint64
+	}{
+		{0, 1, 4194304, 2, 0},
+		{1, 2, 2097152, 1, 0},
+	}
+	if len(rep.Pairs) != len(wantPairs) {
+		t.Fatalf("pair matrix has %d entries, want %d: %+v", len(rep.Pairs), len(wantPairs), rep.Pairs)
+	}
+	for i, w := range wantPairs {
+		p := rep.Pairs[i]
+		if int(p.Src) != w.src || int(p.Dst) != w.dst ||
+			p.Bytes != w.bytes || p.Pages2M != w.pages2M || p.Pages4K != w.pages4K {
+			t.Errorf("pair %d = %+v, want %+v", i, p, w)
+		}
 	}
 }

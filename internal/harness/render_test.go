@@ -8,6 +8,7 @@ import (
 )
 
 func TestTable1TableRendering(t *testing.T) {
+	t.Parallel()
 	rows := []Table1Row{{App: "redis", GainPct: 12.3}, {App: "web-search", GainPct: 0.4}}
 	out := Table1Table(rows).String()
 	for _, want := range []string{"Table 1", "redis", "12.300", "web-search"} {
@@ -18,6 +19,7 @@ func TestTable1TableRendering(t *testing.T) {
 }
 
 func TestTable2TableRendering(t *testing.T) {
+	t.Parallel()
 	rows := []Table2Row{{App: "cassandra", RSSGB: 8.01, FileGB: 4.02}}
 	out := Table2Table(rows).String()
 	if !strings.Contains(out, "cassandra") || !strings.Contains(out, "8.010") {
@@ -26,6 +28,7 @@ func TestTable2TableRendering(t *testing.T) {
 }
 
 func TestTable3TableRendering(t *testing.T) {
+	t.Parallel()
 	rows := []Table3Row{{App: "redis", MigrationMBps: 11.3, FalseClassMBps: 10}}
 	out := Table3Table(rows).String()
 	if !strings.Contains(out, "11.300") || !strings.Contains(out, "10.000") {
@@ -34,6 +37,7 @@ func TestTable3TableRendering(t *testing.T) {
 }
 
 func TestTable4TableRendering(t *testing.T) {
+	t.Parallel()
 	rows := []Table4Row{{App: "cassandra", SavingsPct: [3]float64{27, 30, 32}}}
 	out := Table4Table(rows).String()
 	for _, want := range []string{"27%", "30%", "32%"} {
@@ -44,6 +48,7 @@ func TestTable4TableRendering(t *testing.T) {
 }
 
 func TestFig11TableRendering(t *testing.T) {
+	t.Parallel()
 	rows := []Fig11Row{
 		{App: "mysql-tpcc", SlowdownPct: 3, ColdFraction: 0.45, Measured: 0.013},
 		{App: "mysql-tpcc", SlowdownPct: 10, ColdFraction: 0.46, Measured: 0.02},
@@ -55,6 +60,7 @@ func TestFig11TableRendering(t *testing.T) {
 }
 
 func TestFig3TableRendering(t *testing.T) {
+	t.Parallel()
 	s := stats.NewSeries("slow_rate_redis")
 	s.Append(2e9, 29000)
 	series := []Fig3Series{{App: "redis", Rate: s, MeanPostWarmup: 29000, TargetRate: 30000}}
@@ -69,6 +75,7 @@ func TestFig3TableRendering(t *testing.T) {
 }
 
 func TestColdDataFigureRendering(t *testing.T) {
+	t.Parallel()
 	mk := func(name string, v float64) *stats.Series {
 		s := stats.NewSeries(name)
 		s.Append(1e9, v)
@@ -88,6 +95,7 @@ func TestColdDataFigureRendering(t *testing.T) {
 }
 
 func TestAblationTableRendering(t *testing.T) {
+	t.Parallel()
 	rows := []AblationRow{{Config: "K=50", ColdFraction: 0.4, Slowdown: 0.02, PoisonFaults: 123, Promotions: 4}}
 	out := ablationTable("Ablation: test", rows).String()
 	for _, want := range []string{"K=50", "40.000", "123"} {

@@ -30,6 +30,7 @@ func attach(t *testing.T, m *sim.Machine) *Daemon {
 }
 
 func TestCollapsesFull4KSpans(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	d := attach(t, m)
 	// 8MB of native 4KB mappings: four full 2MB spans.
@@ -63,6 +64,7 @@ func TestCollapsesFull4KSpans(t *testing.T) {
 }
 
 func TestRespectsPerScanBudget(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	d := &Daemon{Interval: 1e8, MaxCollapsesPerScan: 2}
 	if err := d.Attach(m); err != nil {
@@ -86,6 +88,7 @@ func TestRespectsPerScanBudget(t *testing.T) {
 }
 
 func TestSkipsPartialPoisonedAndSampled(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	d := attach(t, m)
 	// Partial span: only 1MB of 4K pages in a 2MB region.
@@ -123,6 +126,7 @@ func TestSkipsPartialPoisonedAndSampled(t *testing.T) {
 }
 
 func TestSkipsWhenTierFull(t *testing.T) {
+	t.Parallel()
 	cfg := sim.DefaultConfig(4<<20, 0) // two huge frames only
 	m, err := sim.New(cfg)
 	if err != nil {
@@ -145,6 +149,7 @@ func TestSkipsWhenTierFull(t *testing.T) {
 }
 
 func TestValidation(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	if err := (&Daemon{}).Attach(m); err == nil {
 		t.Fatal("zero interval accepted")
@@ -162,6 +167,10 @@ func TestValidation(t *testing.T) {
 }
 
 func TestStackedUnderNullPolicyRecoversTHP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	// An app that starts with 4KB mappings: khugepaged collapses its
 	// footprint, and throughput improves relative to staying on 4KB pages
 	// (the dynamic version of Table 1).

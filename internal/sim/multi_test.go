@@ -7,6 +7,7 @@ import (
 )
 
 func TestRunMultiValidation(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	if _, err := RunMulti(m, nil, RunConfig{DurationNs: 1e9}); err == nil {
 		t.Fatal("no tenants accepted")
@@ -18,6 +19,7 @@ func TestRunMultiValidation(t *testing.T) {
 }
 
 func TestRunMultiSharesAndIsolation(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	a := &uniformApp{name: "a", size: 4 << 20, huge: true, r: rng.New(1), compute: 1000}
 	b := &uniformApp{name: "b", size: 4 << 20, huge: true, r: rng.New(2), compute: 1000}
@@ -55,6 +57,7 @@ func TestRunMultiSharesAndIsolation(t *testing.T) {
 }
 
 func TestRunMultiRespectsMaxOps(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	a := &uniformApp{name: "a", size: 2 << 20, huge: true, r: rng.New(3), compute: 100}
 	res, err := RunMulti(m, []Tenant{{App: a, Policy: NullPolicy{Interval: 1e8}}},
@@ -68,6 +71,7 @@ func TestRunMultiRespectsMaxOps(t *testing.T) {
 }
 
 func TestStackBasics(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	if err := (&Stack{}).Attach(m); err == nil {
 		t.Fatal("empty stack accepted")

@@ -37,6 +37,7 @@ func tierOf(t *testing.T, m *Machine, v addr.Virt) mem.TierID {
 // tier at a time and back up, checking tier position, poison monitoring
 // state, and the bottom/top error cases at the ends of the chain.
 func TestDemotePromoteChain(t *testing.T) {
+	t.Parallel()
 	m := newThreeTierMachine(t, EmulatedFault)
 	r, err := m.AllocRegion(2<<20, true)
 	if err != nil {
@@ -96,6 +97,7 @@ func TestDemotePromoteChain(t *testing.T) {
 // TestDeviceModePerTierLatency checks that in Device mode an LLC-missing
 // read is charged the owning tier's device latency — each tier its own.
 func TestDeviceModePerTierLatency(t *testing.T) {
+	t.Parallel()
 	m := newThreeTierMachine(t, Device)
 	r, err := m.AllocRegion(6<<20, true)
 	if err != nil {
@@ -143,6 +145,7 @@ func TestDeviceModePerTierLatency(t *testing.T) {
 // TestScanFootprintByTier places pages in all three tiers and checks the
 // per-tier footprint breakdown agrees with the legacy hot/cold split.
 func TestScanFootprintByTier(t *testing.T) {
+	t.Parallel()
 	m := newThreeTierMachine(t, EmulatedFault)
 	r, err := m.AllocRegion(8<<20, true) // four huge pages
 	if err != nil {

@@ -21,6 +21,7 @@ func newMachine(t *testing.T) *Machine {
 }
 
 func TestAllocRegionHuge(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	r, err := m.AllocRegion(4<<20, true)
 	if err != nil {
@@ -43,6 +44,7 @@ func TestAllocRegionHuge(t *testing.T) {
 }
 
 func TestAllocRegion4K(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	r, err := m.AllocRegion(3*addr.PageSize4K, false)
 	if err != nil {
@@ -60,6 +62,7 @@ func TestAllocRegion4K(t *testing.T) {
 }
 
 func TestAllocRegionErrors(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	if _, err := m.AllocRegion(0, true); err == nil {
 		t.Fatal("zero-size accepted")
@@ -70,6 +73,7 @@ func TestAllocRegionErrors(t *testing.T) {
 }
 
 func TestAccessLatencyPaths(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	r, err := m.AllocRegion(2<<20, true)
 	if err != nil {
@@ -105,6 +109,7 @@ func TestAccessLatencyPaths(t *testing.T) {
 }
 
 func TestAccessUnmappedFails(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	if _, err := m.Access(addr.Virt(0xdead000), false); err == nil {
 		t.Fatal("unmapped access succeeded")
@@ -112,6 +117,7 @@ func TestAccessUnmappedFails(t *testing.T) {
 }
 
 func TestPoisonedAccessChargesFaultAndCounts(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	r, err := m.AllocRegion(2<<20, true)
 	if err != nil {
@@ -145,6 +151,7 @@ func TestPoisonedAccessChargesFaultAndCounts(t *testing.T) {
 }
 
 func TestSlowAccessCountingAndEmulation(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	r, err := m.AllocRegion(2<<20, true)
 	if err != nil {
@@ -169,6 +176,7 @@ func TestSlowAccessCountingAndEmulation(t *testing.T) {
 }
 
 func TestDeviceModeChargesSlowLatency(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig(64<<20, 64<<20)
 	cfg.Mode = Device
 	m, err := New(cfg)
@@ -193,6 +201,7 @@ func TestDeviceModeChargesSlowLatency(t *testing.T) {
 }
 
 func TestClockAdvancesByLatencyOverThreads(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig(64<<20, 64<<20)
 	cfg.Threads = 4
 	m, err := New(cfg)
@@ -218,6 +227,7 @@ func TestClockAdvancesByLatencyOverThreads(t *testing.T) {
 }
 
 func TestNativeModeMachine(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig(64<<20, 64<<20)
 	cfg.VM = vm.Config{Mode: vm.Native}
 	m, err := New(cfg)
@@ -265,6 +275,10 @@ func (a *uniformApp) ComputeNs() int64           { return a.compute }
 func (a *uniformApp) Tick(*Machine, int64) error { a.ticks++; return nil }
 
 func TestRunBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	m := newMachine(t)
 	app := &uniformApp{name: "uniform", size: 8 << 20, huge: true, r: rng.New(1), compute: 500}
 	res, err := Run(m, app, NullPolicy{Interval: 1e8}, RunConfig{DurationNs: 1e9, WindowNs: 1e8})
@@ -299,6 +313,7 @@ func TestRunBaseline(t *testing.T) {
 }
 
 func TestRunRespectsMaxOps(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	app := &uniformApp{name: "u", size: 2 << 20, huge: true, r: rng.New(2), compute: 100}
 	res, err := Run(m, app, NullPolicy{}, RunConfig{DurationNs: 1e12, MaxOps: 1000})
@@ -311,6 +326,7 @@ func TestRunRespectsMaxOps(t *testing.T) {
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	app := &uniformApp{name: "u", size: 2 << 20, huge: true, r: rng.New(3)}
 	if _, err := Run(m, app, NullPolicy{}, RunConfig{}); err == nil {
@@ -319,6 +335,10 @@ func TestRunRejectsBadConfig(t *testing.T) {
 }
 
 func TestSlowdownMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	// Identical app on two machines; on the second, half the footprint is
 	// demoted and poisoned (the emulated slow memory). Throughput must
 	// drop, and Slowdown must report it.
@@ -372,6 +392,7 @@ func TestSlowdownMeasurement(t *testing.T) {
 }
 
 func TestDaemonAccounting(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	m.ChargeDaemon(12345)
 	if m.DaemonNs() != 12345 {
@@ -380,6 +401,7 @@ func TestDaemonAccounting(t *testing.T) {
 }
 
 func TestFootprintHelpers(t *testing.T) {
+	t.Parallel()
 	f := Footprint{Hot2M: 100, Hot4K: 50, Cold2M: 30, Cold4K: 20}
 	if f.Total() != 200 || f.Cold() != 50 {
 		t.Fatal("totals wrong")
@@ -393,6 +415,10 @@ func TestFootprintHelpers(t *testing.T) {
 }
 
 func TestRequestLatencyPercentiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	m := newMachine(t)
 	app := &uniformApp{name: "u", size: 4 << 20, huge: true, r: rng.New(11), compute: 500}
 	res, err := Run(m, app, NullPolicy{Interval: 1e8}, RunConfig{
@@ -426,6 +452,7 @@ func TestRequestLatencyPercentiles(t *testing.T) {
 }
 
 func TestVerifyCleanMachine(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	if _, err := m.AllocRegion(8<<20, true); err != nil {
 		t.Fatal(err)
@@ -462,6 +489,7 @@ func TestVerifyCleanMachine(t *testing.T) {
 }
 
 func TestVerifyCatchesDoubleMapping(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	r, err := m.AllocRegion(2<<20, true)
 	if err != nil {
@@ -503,6 +531,7 @@ type simTestErr struct{ s string }
 func (e *simTestErr) Error() string { return e.s }
 
 func TestRunPropagatesPolicyError(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	app := &uniformApp{name: "u", size: 2 << 20, huge: true, r: rng.New(4), compute: 500}
 	_, err := Run(m, app, &errPolicy{failAt: 2}, RunConfig{DurationNs: 1e9})
@@ -519,6 +548,7 @@ type errApp struct {
 func (a *errApp) Tick(*Machine, int64) error { return errSentinel }
 
 func TestRunPropagatesAppTickError(t *testing.T) {
+	t.Parallel()
 	m := newMachine(t)
 	app := &errApp{uniformApp{name: "u", size: 2 << 20, huge: true, r: rng.New(5), compute: 500}}
 	_, err := Run(m, app, NullPolicy{Interval: 1e8}, RunConfig{DurationNs: 1e9})
@@ -528,6 +558,7 @@ func TestRunPropagatesAppTickError(t *testing.T) {
 }
 
 func TestMeanColdFraction(t *testing.T) {
+	t.Parallel()
 	r := &RunResult{
 		Cold2M: statsSeries("c2", 0, 100, 100),
 		Cold4K: statsSeries("c4", 0, 0, 0),

@@ -1,6 +1,10 @@
 #!/bin/sh
-# Pre-merge gate: build everything, vet, run all tests with the race
+# Pre-merge gate: build everything, vet, run the tests with the race
 # detector. Run from the repository root (or via `make check`).
+#
+# SHORT=1 runs the fast tier only (go test -short): the scaled harness
+# integration runs are skipped, so the whole gate finishes in well under
+# a minute. The default (full) tier runs every test.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,9 +15,14 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race ./..."
-# The harness package runs full scaled experiments; under the race
-# detector it needs well over go test's default 10m budget.
-go test -race -timeout 45m ./...
+if [ "${SHORT:-0}" = "1" ]; then
+	echo "== go test -short -race ./..."
+	go test -short -race -timeout 10m ./...
+else
+	echo "== go test -race ./..."
+	# The harness package runs full scaled experiments; under the race
+	# detector it needs well over go test's default 10m budget.
+	go test -race -timeout 45m ./...
+fi
 
 echo "check: OK"

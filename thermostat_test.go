@@ -5,6 +5,7 @@ import (
 )
 
 func TestDefaultParamsMatchPaper(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	if p.TolerableSlowdownPct != 3 {
 		t.Errorf("slowdown = %v, want 3", p.TolerableSlowdownPct)
@@ -21,6 +22,7 @@ func TestDefaultParamsMatchPaper(t *testing.T) {
 }
 
 func TestNewEngineValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewEngine(Params{}, 1); err == nil {
 		t.Fatal("zero params accepted")
 	}
@@ -30,6 +32,7 @@ func TestNewEngineValidation(t *testing.T) {
 }
 
 func TestWorkloadsCatalog(t *testing.T) {
+	t.Parallel()
 	specs := Workloads()
 	if len(specs) != 6 {
 		t.Fatalf("Workloads() returned %d, want 6", len(specs))
@@ -45,6 +48,10 @@ func TestWorkloadsCatalog(t *testing.T) {
 }
 
 func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
 	// The quickstart flow through the façade only: custom workload, engine
 	// in a retunable group, run, inspect.
 	cfg := DefaultMachineConfig(64<<20, 64<<20)
@@ -97,6 +104,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 }
 
 func TestIdleDemoteViaFacade(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultMachineConfig(64<<20, 64<<20)
 	cfg.TLB.L1Entries, cfg.TLB.L2Entries = 2, 8
 	m, err := NewMachine(cfg)
@@ -126,6 +134,7 @@ func TestIdleDemoteViaFacade(t *testing.T) {
 }
 
 func TestModeConstants(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultMachineConfig(4<<20, 4<<20)
 	if cfg.Mode != EmulatedFault {
 		t.Fatal("default mode should be the paper's emulation methodology")
