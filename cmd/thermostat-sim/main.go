@@ -14,8 +14,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
 	"os"
 	"strings"
 
@@ -25,6 +29,7 @@ import (
 	"thermostat/internal/pool"
 	"thermostat/internal/report"
 	"thermostat/internal/sim"
+	"thermostat/internal/telemetry"
 	"thermostat/internal/workload"
 )
 
@@ -40,6 +45,10 @@ func main() {
 		tiersFlag = flag.String("tiers", "", "comma-separated device presets for an N-tier run, fastest first (presets: "+strings.Join(mem.PresetNames(), ", ")+")")
 		workers   = flag.Int("workers", 0, "goroutines for the baseline+policy run pair (0 = all cores, 1 = serial; results are identical at any setting)")
 		list      = flag.Bool("list", false, "list application models and exit")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file of the policy run (open in Perfetto)")
+		metrics   = flag.String("metrics", "", "write per-epoch metric snapshots of the policy run as JSONL")
+		epochs    = flag.Bool("epochs", false, "print the per-epoch metric table for the policy run")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	flag.Parse()
 
@@ -75,6 +84,10 @@ func main() {
 		}
 	}
 
+	if *pprofAddr != "" {
+		startDebugServer(*pprofAddr)
+	}
+
 	if *tiersFlag != "" {
 		if *polFlag != "thermostat" {
 			fatal(fmt.Errorf("-tiers only runs under -policy thermostat"))
@@ -83,17 +96,32 @@ func main() {
 		return
 	}
 
+	// A collector attaches to the policy run when any telemetry output was
+	// requested. Events are recorded in virtual time, so the files are
+	// byte-identical at any -workers setting.
+	var col *telemetry.Collector
+	if *traceOut != "" || *metrics != "" || *epochs {
+		col = telemetry.NewCollector()
+	}
+	attach := func(cfg *sim.Config) {
+		if col != nil {
+			cfg.Recorder = col
+		}
+	}
+
 	var runPolicy func() (*harness.Outcome, error)
 	switch *polFlag {
 	case "thermostat":
-		runPolicy = func() (*harness.Outcome, error) { return harness.RunThermostat(spec, sc, *slowdown) }
+		runPolicy = func() (*harness.Outcome, error) {
+			return harness.RunThermostatWith(spec, sc, *slowdown, attach, nil)
+		}
 	case "idle-demote":
 		interval := int64(*idleSecs * 1e9 * float64(sc.TimeDilate) / 4)
 		runPolicy = func() (*harness.Outcome, error) {
-			return harness.RunPolicy(spec, sc, &core.IdleDemote{Interval: interval, IdleScans: 4})
+			return harness.RunPolicyWith(spec, sc, &core.IdleDemote{Interval: interval, IdleScans: 4}, attach)
 		}
 	case "all-dram":
-		runPolicy = func() (*harness.Outcome, error) { return harness.RunBaseline(spec, sc) }
+		runPolicy = func() (*harness.Outcome, error) { return harness.RunBaselineWith(spec, sc, attach) }
 	default:
 		fatal(fmt.Errorf("unknown policy %q", *polFlag))
 	}
@@ -111,6 +139,25 @@ func main() {
 		fatal(err)
 	}
 	base, outcome := outs[0], outs[1]
+
+	if col != nil {
+		publishTelemetry(col)
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, col.WriteChromeTrace); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *traceOut)
+		}
+		if *metrics != "" {
+			if err := writeFile(*metrics, col.WriteJSONL); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote per-epoch metrics to %s\n", *metrics)
+		}
+		if *epochs {
+			fmt.Println(col.EpochTable())
+		}
+	}
 
 	res := outcome.Result
 	fp := res.FinalFootprint
@@ -184,6 +231,40 @@ func runNTier(spec workload.Spec, sc harness.Scale, names string, slowdown float
 	fmt.Println(summary.String())
 	fmt.Println(rep.TrafficTable().String())
 	fmt.Println(rep.CostTable().String())
+}
+
+// startDebugServer serves net/http/pprof and expvar on addr in the
+// background for live inspection of a long run.
+func startDebugServer(addr string) {
+	go func() {
+		// The default mux already carries /debug/pprof (blank import) and
+		// /debug/vars (expvar).
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "thermostat-sim: pprof server:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof (expvar at /debug/vars)\n", addr)
+}
+
+// publishTelemetry exposes the collector's totals through expvar so the
+// -pprof debug server reports them at /debug/vars.
+func publishTelemetry(col *telemetry.Collector) {
+	expvar.Publish("telemetry.events", expvar.Func(func() any { return col.EventCount() }))
+	expvar.Publish("telemetry.epochs", expvar.Func(func() any { return col.Epoch() }))
+	expvar.Publish("telemetry.dropped", expvar.Func(func() any { return col.Dropped() }))
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

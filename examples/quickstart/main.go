@@ -2,9 +2,14 @@
 // tolerable slowdown, then compare against an all-DRAM baseline.
 //
 //	go run ./examples/quickstart
+//
+// Pass -telemetry to attach a collector to the managed run and print its
+// per-epoch metric table (one row per scan interval: accesses, faults,
+// demotions, migration traffic).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,17 +17,21 @@ import (
 )
 
 func main() {
+	telemetryFlag := flag.Bool("telemetry", false, "record per-epoch telemetry for the managed run and print the epoch table")
+	flag.Parse()
+
 	// The Redis model's full footprint is 17.2GB (Table 2); divide by 64
 	// so the demo runs in seconds. Tier capacities leave headroom.
 	const scale = 64
 	const footprint = uint64(18<<30) / scale
 
-	run := func(policy thermostat.Policy) *thermostat.RunResult {
+	run := func(policy thermostat.Policy, rec thermostat.TelemetryRecorder) *thermostat.RunResult {
 		cfg := thermostat.DefaultMachineConfig(footprint+64<<20, footprint)
 		// Scale the TLB and LLC with the footprint so translation reach
 		// stays proportional (see DESIGN.md on scaling).
 		cfg.TLB.L1Entries, cfg.TLB.L2Entries = 2, 16
 		cfg.LLC.SizeBytes = (45 << 20) / scale
+		cfg.Recorder = rec
 		m, err := thermostat.NewMachine(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -52,8 +61,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	baseline := run(thermostat.NullPolicy{Interval: 1e9})
-	managed := run(engine)
+	var col *thermostat.TelemetryCollector
+	var rec thermostat.TelemetryRecorder
+	if *telemetryFlag {
+		col = thermostat.NewTelemetryCollector()
+		rec = col
+	}
+
+	baseline := run(thermostat.NullPolicy{Interval: 1e9}, nil)
+	managed := run(engine, rec)
 
 	fp := managed.FinalFootprint
 	fmt.Printf("application:        redis (hotspot: 0.01%% of keys take 90%% of traffic)\n")
@@ -69,4 +85,9 @@ func main() {
 	st := engine.Stats()
 	fmt.Printf("engine:             %d pages sampled, %d demotions, %d corrections\n",
 		st.Sampled, st.Demotions, st.Promotions)
+
+	if col != nil {
+		fmt.Printf("\ntelemetry:          %d events over %d epochs\n", col.EventCount(), col.Epoch())
+		fmt.Println(col.EpochTable())
+	}
 }

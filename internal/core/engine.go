@@ -13,6 +13,7 @@ import (
 	"thermostat/internal/rng"
 	"thermostat/internal/sim"
 	"thermostat/internal/stats"
+	"thermostat/internal/telemetry"
 )
 
 // Modeled daemon CPU costs (charged off the application critical path, as
@@ -199,6 +200,11 @@ func (e *Engine) Stats() Stats {
 // memory by the engine.
 func (e *Engine) ColdPages() int { return len(e.cold) }
 
+// IsCold implements sim.ColdChecker: it reports whether the engine has
+// classified the 2MB page at base cold (any tier below the top). The
+// telemetry layer uses it for the confusion matrix against LLC ground truth.
+func (e *Engine) IsCold(base addr.Virt) bool { return e.cold[base] }
+
 // InflightPages returns the number of huge pages currently split for
 // sampling (both pipeline cohorts).
 func (e *Engine) InflightPages() int { return len(e.splitCohort) + len(e.poisonedCohort) }
@@ -263,7 +269,20 @@ func (e *Engine) correct(intervalSec float64) error {
 	// iteration order must not leak into placement decisions).
 	sort.Slice(measured, func(i, j int) bool { return measured[i].Base < measured[j].Base })
 	target := e.group.Params().TargetSlowAccessRate()
-	for _, base := range SelectPromotions(measured, target) {
+	promos := SelectPromotions(measured, target)
+	if rec := e.m.Recorder(); rec != nil && len(promos) > 0 {
+		rates := make(map[addr.Virt]float64, len(measured))
+		for _, c := range measured {
+			rates[c.Base] = c.Rate
+		}
+		for _, base := range promos {
+			rec.Event(telemetry.Event{
+				Kind: telemetry.KindClassified, TimeNs: e.m.Clock(),
+				Page: base, Rate: rates[base], Cold: false,
+			})
+		}
+	}
+	for _, base := range promos {
 		if err := e.promote(base); err != nil {
 			return err
 		}
@@ -361,6 +380,7 @@ func (e *Engine) scanSplit() error {
 	if n < 1 {
 		n = 1
 	}
+	rec := e.m.Recorder()
 	for _, idx := range e.r.Sample(len(candidates), n) {
 		base := candidates[idx]
 		if err := pt.Split(base); err != nil {
@@ -371,6 +391,15 @@ func (e *Engine) scanSplit() error {
 		e.m.TLB().Invalidate(base, e.m.VPID())
 		e.splitCohort[base] = &sample{base: base, wasCold: e.cold[base]}
 		e.sampled.Inc()
+		if rec != nil {
+			rec.Event(telemetry.Event{
+				Kind: telemetry.KindHugePageSplit, TimeNs: e.m.Clock(), Page: base,
+			})
+			rec.Event(telemetry.Event{
+				Kind: telemetry.KindPageSampled, TimeNs: e.m.Clock(),
+				Page: base, Cold: e.cold[base],
+			})
+		}
 		daemon += splitCostNs
 	}
 	e.m.ChargeDaemon(daemon)
@@ -478,7 +507,20 @@ func (e *Engine) scanClassify(intervalSec float64) error {
 
 	// Demote the coldest of this period's fast-tier samples.
 	budget := p.SampleFraction * p.TargetSlowAccessRate()
-	for _, base := range SelectColdSet(fastEsts, budget) {
+	coldSet := SelectColdSet(fastEsts, budget)
+	if rec := e.m.Recorder(); rec != nil && len(fastEsts) > 0 {
+		chosen := make(map[addr.Virt]bool, len(coldSet))
+		for _, base := range coldSet {
+			chosen[base] = true
+		}
+		for _, est := range fastEsts {
+			rec.Event(telemetry.Event{
+				Kind: telemetry.KindClassified, TimeNs: e.m.Clock(),
+				Page: est.Base, Rate: est.Rate, Cold: chosen[est.Base],
+			})
+		}
+	}
+	for _, base := range coldSet {
 		if err := e.demote(base); err != nil {
 			return err
 		}
@@ -506,6 +548,11 @@ func (e *Engine) restore(s *sample) error {
 		return fmt.Errorf("core: collapse %s: %w", s.base, err)
 	}
 	e.m.TLB().Invalidate(s.base, e.m.VPID())
+	if rec := e.m.Recorder(); rec != nil {
+		rec.Event(telemetry.Event{
+			Kind: telemetry.KindHugePageCollapse, TimeNs: e.m.Clock(), Page: s.base,
+		})
+	}
 	if e.cold[s.base] {
 		if err := e.m.Trap().Poison(s.base, e.m.VPID()); err != nil {
 			return err

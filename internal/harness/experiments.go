@@ -11,6 +11,7 @@ import (
 	"thermostat/internal/report"
 	"thermostat/internal/sim"
 	"thermostat/internal/stats"
+	"thermostat/internal/telemetry"
 	"thermostat/internal/workload"
 )
 
@@ -27,6 +28,11 @@ type Options struct {
 	// are bit-for-bit identical at any setting — each run owns its own
 	// machine and seeded RNG (see DESIGN.md's determinism contract).
 	Workers int
+	// Telemetry, when non-nil, attaches a collector to every RunAll run
+	// and exports per-run trace files (Chrome trace + JSONL) under
+	// Telemetry.Dir. Traces are in virtual time: byte-identical at any
+	// Workers setting.
+	Telemetry *TelemetryOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -63,13 +69,30 @@ func RunAll(opt Options) (map[string]*AppRun, error) {
 	for i, spec := range opt.Apps {
 		spec := spec
 		tasks[i] = pool.Task[*AppRun]{Label: "runall/" + spec.Name, Run: func() (*AppRun, error) {
-			base, err := RunBaseline(spec, opt.Scale)
+			var baseCol, thCol *telemetry.Collector
+			var baseMutate, thMutate func(*sim.Config)
+			if opt.Telemetry != nil {
+				baseCol = opt.Telemetry.NewCollector()
+				thCol = opt.Telemetry.NewCollector()
+				baseMutate = func(cfg *sim.Config) { cfg.Recorder = baseCol }
+				thMutate = func(cfg *sim.Config) { cfg.Recorder = thCol }
+			}
+			base, err := RunBaselineWith(spec, opt.Scale, baseMutate)
 			if err != nil {
 				return nil, err
 			}
-			th, err := RunThermostat(spec, opt.Scale, opt.SlowdownPct)
+			th, err := RunThermostatWith(spec, opt.Scale, opt.SlowdownPct, thMutate, nil)
 			if err != nil {
 				return nil, err
+			}
+			if opt.Telemetry != nil {
+				base.Telemetry, th.Telemetry = baseCol, thCol
+				if _, _, err := opt.Telemetry.Export("runall-"+spec.Name+"-baseline", baseCol); err != nil {
+					return nil, err
+				}
+				if _, _, err := opt.Telemetry.Export("runall-"+spec.Name+"-thermostat", thCol); err != nil {
+					return nil, err
+				}
 			}
 			return &AppRun{
 				Base:         base,

@@ -19,6 +19,7 @@ import (
 	"thermostat/internal/cgroup"
 	"thermostat/internal/core"
 	"thermostat/internal/sim"
+	"thermostat/internal/telemetry"
 	"thermostat/internal/workload"
 )
 
@@ -163,6 +164,9 @@ type Outcome struct {
 	App     *workload.App
 	Engine  *core.Engine // nil for non-Thermostat policies
 	Result  *sim.RunResult
+	// Telemetry is the run's collector when the experiment enabled
+	// telemetry (nil otherwise).
+	Telemetry *telemetry.Collector
 }
 
 // RunThermostat runs spec under Thermostat at the given slowdown target.
@@ -208,19 +212,34 @@ func RunThermostatWith(spec workload.Spec, sc Scale, slowdownPct float64,
 
 // RunBaseline runs spec with everything in fast memory (all-DRAM).
 func RunBaseline(spec workload.Spec, sc Scale) (*Outcome, error) {
-	return runWithPolicy(spec, sc, sim.NullPolicy{Interval: sc.PeriodNs}, true)
+	return runWithPolicy(spec, sc, sim.NullPolicy{Interval: sc.PeriodNs}, true, nil)
+}
+
+// RunBaselineWith is RunBaseline with a hook to mutate the machine config
+// first (e.g. to attach a telemetry recorder).
+func RunBaselineWith(spec workload.Spec, sc Scale, cfgMutate func(*sim.Config)) (*Outcome, error) {
+	return runWithPolicy(spec, sc, sim.NullPolicy{Interval: sc.PeriodNs}, true, cfgMutate)
 }
 
 // RunPolicy runs spec under an arbitrary policy (e.g. core.IdleDemote).
 func RunPolicy(spec workload.Spec, sc Scale, pol sim.Policy) (*Outcome, error) {
-	return runWithPolicy(spec, sc, pol, true)
+	return runWithPolicy(spec, sc, pol, true, nil)
 }
 
-func runWithPolicy(spec workload.Spec, sc Scale, pol sim.Policy, hugeHost bool) (*Outcome, error) {
+// RunPolicyWith is RunPolicy with a machine-config hook.
+func RunPolicyWith(spec workload.Spec, sc Scale, pol sim.Policy, cfgMutate func(*sim.Config)) (*Outcome, error) {
+	return runWithPolicy(spec, sc, pol, true, cfgMutate)
+}
+
+func runWithPolicy(spec workload.Spec, sc Scale, pol sim.Policy, hugeHost bool, cfgMutate func(*sim.Config)) (*Outcome, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	m, err := sim.New(sc.MachineConfig(spec, hugeHost))
+	cfg := sc.MachineConfig(spec, hugeHost)
+	if cfgMutate != nil {
+		cfgMutate(&cfg)
+	}
+	m, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
 	}

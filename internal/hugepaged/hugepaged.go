@@ -20,6 +20,7 @@ import (
 	"thermostat/internal/pagetable"
 	"thermostat/internal/sim"
 	"thermostat/internal/stats"
+	"thermostat/internal/telemetry"
 )
 
 // Modeled costs: a collapse copies 2MB and rewrites one PMD.
@@ -163,6 +164,11 @@ func (d *Daemon) collapse(hb addr.Virt, tier mem.TierID) error {
 	}
 	d.m.ChargeDaemon(collapseCopyCostNs)
 	d.collapses.Inc()
+	if rec := d.m.Recorder(); rec != nil {
+		rec.Event(telemetry.Event{
+			Kind: telemetry.KindHugePageCollapse, TimeNs: d.m.Clock(), Page: hb,
+		})
+	}
 	return nil
 }
 

@@ -25,12 +25,18 @@ import (
 // bookkeeping cost per page (unmap, copy setup, remap).
 const DefaultPerPageOverheadNs = 3000
 
+// Observer is notified after every successful page migration — the
+// telemetry layer's attachment point. It must not migrate pages itself.
+type Observer func(v addr.Virt, src, dst mem.TierID, bytes uint64, kind mem.TrafficKind, costNs int64)
+
 // Migrator moves pages between tiers.
 type Migrator struct {
 	sys   *mem.System
 	pt    *pagetable.Table
 	tl    *tlb.TLB
 	meter *mem.Meter
+
+	observer Observer
 
 	perPageOverheadNs int64
 }
@@ -46,6 +52,11 @@ func NewMigrator(sys *mem.System, pt *pagetable.Table, tl *tlb.TLB, meter *mem.M
 
 // Meter returns the traffic meter.
 func (m *Migrator) Meter() *mem.Meter { return m.meter }
+
+// SetObserver installs fn to be called after every successful migration
+// (nil removes). The machine uses this to emit telemetry Migrated events
+// with its virtual clock.
+func (m *Migrator) SetObserver(fn Observer) { m.observer = fn }
 
 // copyCost returns the virtual-time cost of copying n bytes between tiers,
 // bounded by the slower tier's bandwidth.
@@ -132,7 +143,11 @@ func (m *Migrator) MoveHuge(v addr.Virt, dst mem.TierID, vpid tlb.VPID, kind mem
 
 	m.sys.Tier(src).Free2M(oldBase)
 	m.meter.RecordPair(kind, src, dst, addr.PageSize2M)
-	return m.copyCost(src, dst, addr.PageSize2M), nil
+	cost := m.copyCost(src, dst, addr.PageSize2M)
+	if m.observer != nil {
+		m.observer(hv, src, dst, addr.PageSize2M, kind, cost)
+	}
+	return cost, nil
 }
 
 // Move4K migrates a single natively-4K-mapped page (one whose frame was
@@ -168,5 +183,9 @@ func (m *Migrator) Move4K(v addr.Virt, dst mem.TierID, vpid tlb.VPID, kind mem.T
 	m.tl.Invalidate(pv, vpid)
 	m.sys.Tier(src).Free4K(e.Frame.Base4K())
 	m.meter.RecordPair(kind, src, dst, addr.PageSize4K)
-	return m.copyCost(src, dst, addr.PageSize4K), nil
+	cost := m.copyCost(src, dst, addr.PageSize4K)
+	if m.observer != nil {
+		m.observer(pv, src, dst, addr.PageSize4K, kind, cost)
+	}
+	return cost, nil
 }

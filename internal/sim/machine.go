@@ -21,6 +21,7 @@ import (
 	"thermostat/internal/numa"
 	"thermostat/internal/pagetable"
 	"thermostat/internal/stats"
+	"thermostat/internal/telemetry"
 	"thermostat/internal/tlb"
 	"thermostat/internal/vm"
 	"thermostat/internal/walk"
@@ -86,6 +87,11 @@ type Config struct {
 	FaultLatencyNs int64
 	// VirtBase is where region allocation starts (default 16TB mark).
 	VirtBase addr.Virt
+	// Recorder, when non-nil, receives telemetry events from every
+	// instrumented component (machine, migrator, engine, daemons). Nil
+	// (the default) compiles the instrumentation down to one nil check
+	// per site.
+	Recorder telemetry.Recorder
 }
 
 // DefaultConfig returns the paper's evaluated machine: KVM guest with huge
@@ -136,6 +142,9 @@ type Metrics struct {
 	AccessLatency *stats.Histogram
 	// ClockNs is the current virtual time.
 	ClockNs int64
+	// MigrationBytes is the total inter-tier traffic from the machine's
+	// shared meter (all kinds, all tier pairs).
+	MigrationBytes uint64
 }
 
 // Machine is the composed simulator.
@@ -151,6 +160,11 @@ type Machine struct {
 	trap  *badgertrap.Trap
 	reg   *fault.Registry
 	mig   *numa.Migrator
+	meter *mem.Meter
+
+	// rec is the telemetry sink; nil (the default) means telemetry is off
+	// and every instrumentation site reduces to one nil check.
+	rec telemetry.Recorder
 
 	clock int64
 	next  addr.Virt // bump pointer for region allocation
@@ -227,7 +241,14 @@ func New(cfg Config) (*Machine, error) {
 	m.trap = badgertrap.New(m.pt, m.tl, cfg.FaultLatencyNs)
 	m.reg = fault.NewRegistry()
 	m.reg.Register(fault.Poison, m.trap)
-	m.mig = numa.NewMigrator(m.sys, m.pt, m.tl, mem.NewMeter(0))
+	// The machine owns one traffic meter and shares it with the migrator,
+	// so every migration — whoever initiates it — lands in the same
+	// traffic matrix that Metrics and the N-tier reports read.
+	m.meter = mem.NewMeter(0)
+	m.mig = numa.NewMigrator(m.sys, m.pt, m.tl, m.meter)
+	if cfg.Recorder != nil {
+		m.SetRecorder(cfg.Recorder)
+	}
 	return m, nil
 }
 
@@ -250,6 +271,31 @@ func (m *Machine) Trap() *badgertrap.Trap { return m.trap }
 
 // Migrator returns the page migration engine.
 func (m *Machine) Migrator() *numa.Migrator { return m.mig }
+
+// Meter returns the machine's inter-tier traffic meter, shared with the
+// migrator.
+func (m *Machine) Meter() *mem.Meter { return m.meter }
+
+// Recorder returns the telemetry sink (nil when telemetry is off). Policies
+// and daemons emit their events through it, guarding with a nil check.
+func (m *Machine) Recorder() telemetry.Recorder { return m.rec }
+
+// SetRecorder installs (or, with nil, removes) the telemetry sink and hooks
+// the migrator so every page move emits a Migrated event stamped with the
+// machine's virtual clock.
+func (m *Machine) SetRecorder(r telemetry.Recorder) {
+	m.rec = r
+	if r == nil {
+		m.mig.SetObserver(nil)
+		return
+	}
+	m.mig.SetObserver(func(v addr.Virt, src, dst mem.TierID, bytes uint64, kind mem.TrafficKind, costNs int64) {
+		r.Event(telemetry.Event{
+			Kind: telemetry.KindMigrated, TimeNs: m.clock, Page: v,
+			FromTier: int8(src), ToTier: int8(dst), Bytes: bytes,
+		})
+	})
+}
 
 // Guest returns the virtualization layer.
 func (m *Machine) Guest() *vm.VM { return m.guest }
@@ -409,6 +455,12 @@ func (m *Machine) Access(v addr.Virt, write bool) (int64, error) {
 				return 0, err
 			}
 			lat += fl + m.guest.FaultOverheadNs()
+			if m.rec != nil {
+				m.rec.Event(telemetry.Event{
+					Kind: telemetry.KindFaultInjected, TimeNs: m.clock,
+					Page: v.Base4K(), Count: 1,
+				})
+			}
 			res, ok := m.tl.Lookup(v, vpid)
 			if !ok {
 				return 0, fmt.Errorf("sim: fault handler left %s untranslated", v)
@@ -506,13 +558,14 @@ func (m *Machine) Metrics() Metrics {
 		perTier[i] = m.tierAccesses[i].Value()
 	}
 	return Metrics{
-		Accesses:      m.accesses.Value(),
-		SlowAccesses:  m.slowAccesses.Value(),
-		TierAccesses:  perTier,
-		PoisonFaults:  m.trap.TotalFaults(),
-		TLB:           m.tl.Stats(),
-		LLC:           m.llc.Stats(),
-		AccessLatency: m.latHist,
-		ClockNs:       m.clock,
+		Accesses:       m.accesses.Value(),
+		SlowAccesses:   m.slowAccesses.Value(),
+		TierAccesses:   perTier,
+		PoisonFaults:   m.trap.TotalFaults(),
+		TLB:            m.tl.Stats(),
+		LLC:            m.llc.Stats(),
+		AccessLatency:  m.latHist,
+		ClockNs:        m.clock,
+		MigrationBytes: m.meter.TotalBytes(),
 	}
 }

@@ -93,6 +93,14 @@ func RunMulti(m *Machine, tenants []Tenant, rc RunConfig) (*MultiResult, error) 
 	nextWindow := start + window
 	var totalOps uint64
 
+	// Telemetry epochs in multi-tenant runs follow the sampling window
+	// (tenant policies tick on their own cadences); snapshots are
+	// machine-level, aggregated over all tenants.
+	var et *epochTracker
+	if m.Recorder() != nil {
+		et = newEpochTracker(m, nil)
+	}
+
 	for m.Clock() < end {
 		if rc.MaxOps > 0 && totalOps >= rc.MaxOps {
 			break
@@ -126,8 +134,14 @@ func RunMulti(m *Machine, tenants []Tenant, rc RunConfig) (*MultiResult, error) 
 				series[i].cold.Append(nextWindow-start, float64(fp.Cold()))
 				series[i].hot.Append(nextWindow-start, float64(fp.Hot2M+fp.Hot4K))
 			}
+			if et != nil {
+				et.roll(now)
+			}
 			nextWindow += window
 		}
+	}
+	if et != nil {
+		et.end(m.Clock())
 	}
 
 	res.DurationNs = m.Clock() - start

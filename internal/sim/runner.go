@@ -280,6 +280,13 @@ func Run(m *Machine, app App, pol Policy, rc RunConfig) (*RunResult, error) {
 		res.RequestLatency = stats.NewHistogram()
 	}
 
+	// Telemetry epochs follow the policy tick: one epoch per scan interval,
+	// recorded in virtual time so traces are deterministic.
+	var et *epochTracker
+	if m.Recorder() != nil {
+		et = newEpochTracker(m, pol)
+	}
+
 	start := m.Clock()
 	end := start + rc.DurationNs
 	nextTick := start + interval
@@ -337,8 +344,14 @@ func Run(m *Machine, app App, pol Policy, rc RunConfig) (*RunResult, error) {
 			if err := pol.Tick(m, now); err != nil {
 				return nil, fmt.Errorf("sim: %s tick: %w", pol.Name(), err)
 			}
+			if et != nil {
+				et.roll(now)
+			}
 			nextTick += interval
 		}
+	}
+	if et != nil {
+		et.end(m.Clock())
 	}
 
 	res.DurationNs = m.Clock() - start

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"thermostat/internal/addr"
+	"thermostat/internal/mem"
+	"thermostat/internal/pagetable"
+	"thermostat/internal/telemetry"
+)
+
+// ColdChecker is an optional Policy extension: it reports the policy's
+// classification verdict for one 2MB page, letting the telemetry layer build
+// the per-epoch classification-confusion matrix against the simulator's LLC
+// ground truth (which no real hardware can observe).
+type ColdChecker interface {
+	IsCold(base addr.Virt) bool
+}
+
+// epochBase is the machine counter baseline captured at an epoch boundary;
+// the next boundary's snapshot is the delta against it.
+type epochBase struct {
+	accesses     uint64
+	slow         uint64
+	tierAccesses []uint64
+	tlbMisses    uint64
+	llcMisses    uint64
+	faults       uint64
+	migBytes     uint64
+	demotions    uint64
+	promotions   uint64
+}
+
+// epochTracker drives the telemetry epoch protocol for one run: it brackets
+// every policy interval with EpochStart/End events and emits one metric
+// Snapshot per epoch. It only exists when a Recorder is installed, so the
+// disabled path costs nothing.
+type epochTracker struct {
+	m   *Machine
+	rec telemetry.Recorder
+	cc  ColdChecker // nil when the policy has no cold set
+
+	epoch      uint64
+	startNs    int64
+	base       epochBase
+	prevCounts map[addr.Virt]uint64 // LLC ground truth at epoch start
+}
+
+// newEpochTracker starts epoch 1 at the machine's current clock.
+func newEpochTracker(m *Machine, pol Policy) *epochTracker {
+	t := &epochTracker{m: m, rec: m.Recorder()}
+	if st, ok := pol.(*Stack); ok && len(st.Policies) > 0 {
+		pol = st.Policies[0] // the placement policy owns the cold set
+	}
+	if pol != nil {
+		t.cc, _ = pol.(ColdChecker)
+	}
+	t.epoch = 1
+	t.begin(m.Clock())
+	return t
+}
+
+func (t *epochTracker) capture() epochBase {
+	met := t.m.Metrics()
+	meter := t.m.Meter()
+	return epochBase{
+		accesses:     met.Accesses,
+		slow:         met.SlowAccesses,
+		tierAccesses: met.TierAccesses,
+		tlbMisses:    met.TLB.Misses,
+		llcMisses:    met.LLC.Misses,
+		faults:       met.PoisonFaults,
+		migBytes:     met.MigrationBytes,
+		demotions:    meter.Pages2M(mem.Demotion) + meter.Pages4K(mem.Demotion),
+		promotions:   meter.Pages2M(mem.Promotion) + meter.Pages4K(mem.Promotion),
+	}
+}
+
+func (t *epochTracker) begin(nowNs int64) {
+	t.startNs = nowNs
+	t.base = t.capture()
+	if t.m.PageCounts() != nil && t.cc != nil {
+		t.prevCounts = t.m.PageCounts()
+	}
+	t.rec.Event(telemetry.Event{Kind: telemetry.KindEpochStart, TimeNs: nowNs, Epoch: t.epoch})
+}
+
+// roll closes the current epoch at nowNs (summary event + snapshot) and
+// opens the next.
+func (t *epochTracker) roll(nowNs int64) {
+	t.end(nowNs)
+	t.epoch++
+	t.begin(nowNs)
+}
+
+// end closes the current epoch without opening a new one (run teardown).
+func (t *epochTracker) end(nowNs int64) {
+	cur := t.capture()
+	snap := telemetry.Snapshot{
+		Epoch:          t.epoch,
+		StartNs:        t.startNs,
+		EndNs:          nowNs,
+		Accesses:       cur.accesses - t.base.accesses,
+		SlowAccesses:   cur.slow - t.base.slow,
+		TLBMisses:      cur.tlbMisses - t.base.tlbMisses,
+		LLCMisses:      cur.llcMisses - t.base.llcMisses,
+		PoisonFaults:   cur.faults - t.base.faults,
+		MigrationBytes: cur.migBytes - t.base.migBytes,
+		Demotions:      cur.demotions - t.base.demotions,
+		Promotions:     cur.promotions - t.base.promotions,
+	}
+	snap.TierAccesses = make([]uint64, len(cur.tierAccesses))
+	for i := range cur.tierAccesses {
+		snap.TierAccesses[i] = cur.tierAccesses[i] - t.base.tierAccesses[i]
+	}
+	snap.TierOccupancy = make([]uint64, t.m.Memory().NumTiers())
+	for i, tier := range t.m.Memory().Tiers() {
+		snap.TierOccupancy[i] = tier.Used()
+	}
+
+	// One page-table walk gathers the poisoned-leaf count and the mapped
+	// 2MB regions with their backing tiers (placement-based hot/cold).
+	type pageInfo struct {
+		cold bool
+	}
+	pages := make(map[addr.Virt]pageInfo)
+	sys := t.m.Memory()
+	t.m.PageTable().Scan(func(base addr.Virt, e *pagetable.Entry, lvl pagetable.Level) {
+		if e.Flags.Has(pagetable.Poisoned) {
+			snap.PoisonedPages++
+		}
+		cold := sys.TierOf(e.Frame) != mem.Fast
+		if lvl == pagetable.Level2M {
+			snap.ColdBytes += boolBytes(cold, addr.PageSize2M)
+			snap.HotBytes += boolBytes(!cold, addr.PageSize2M)
+		} else {
+			snap.ColdBytes += boolBytes(cold, addr.PageSize4K)
+			snap.HotBytes += boolBytes(!cold, addr.PageSize4K)
+		}
+		hb := base.Base2M()
+		if _, ok := pages[hb]; !ok {
+			pages[hb] = pageInfo{cold: cold}
+		}
+	})
+
+	// Confusion vs. LLC ground truth: a 2MB page is "truly accessed" if it
+	// took at least one LLC miss this epoch.
+	if counts := t.m.PageCounts(); counts != nil && t.cc != nil && t.prevCounts != nil {
+		snap.ConfusionValid = true
+		for hb := range pages {
+			accessed := counts[hb] > t.prevCounts[hb]
+			cold := t.cc.IsCold(hb)
+			switch {
+			case cold && accessed:
+				snap.ColdAccessed++
+			case cold:
+				snap.ColdIdle++
+			case accessed:
+				snap.HotAccessed++
+			default:
+				snap.HotIdle++
+			}
+		}
+	}
+
+	t.rec.Event(telemetry.Event{
+		Kind: telemetry.KindTLBMiss, TimeNs: nowNs, Epoch: t.epoch,
+		Count: snap.TLBMisses,
+	})
+	t.rec.Event(telemetry.Event{Kind: telemetry.KindEpochEnd, TimeNs: nowNs, Epoch: t.epoch})
+	t.rec.Snapshot(snap)
+}
+
+func boolBytes(b bool, n uint64) uint64 {
+	if b {
+		return n
+	}
+	return 0
+}

@@ -1,0 +1,148 @@
+package sim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"thermostat/internal/cgroup"
+	"thermostat/internal/core"
+	"thermostat/internal/sim"
+	"thermostat/internal/telemetry"
+	"thermostat/internal/workload"
+)
+
+// runTiny drives the Redis model under Thermostat at unit-test scale with a
+// collector attached, mirroring what the harness does.
+func runTiny(t *testing.T, col *telemetry.Collector) *sim.RunResult {
+	t.Helper()
+	spec, ok := workload.ByName("redis")
+	if !ok {
+		t.Fatal("redis model missing")
+	}
+	const div = 256
+	var footprint uint64
+	for _, seg := range spec.Segments {
+		footprint += seg.Bytes
+	}
+	footprint /= div
+	cfg := sim.DefaultConfig(footprint+32<<20, footprint+32<<20)
+	cfg.TLB.L1Entries, cfg.TLB.L2Entries = 2, 8
+	cfg.LLC.SizeBytes = 1 << 20
+	cfg.Recorder = col
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnablePageCounts()
+	app, err := workload.NewApp(spec, div, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cgroup.Default()
+	p.SamplePeriodNs = 500e6
+	g, err := cgroup.NewGroup("t", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(g, 42)
+	res, err := sim.Run(m, app, eng, sim.RunConfig{DurationNs: 3e9, WarmupNs: 500e6, WindowNs: 500e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunProducesEpochTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
+	col := telemetry.NewCollector()
+	runTiny(t, col)
+
+	snaps := col.Snapshots()
+	if len(snaps) < 4 {
+		t.Fatalf("only %d epoch snapshots for a 4s run at 500ms ticks", len(snaps))
+	}
+	kinds := map[telemetry.Kind]int{}
+	for _, e := range col.Events() {
+		kinds[e.Kind]++
+	}
+	for _, k := range []telemetry.Kind{
+		telemetry.KindEpochStart, telemetry.KindEpochEnd, telemetry.KindTLBMiss,
+		telemetry.KindPageSampled, telemetry.KindHugePageSplit, telemetry.KindClassified,
+		telemetry.KindMigrated, telemetry.KindFaultInjected,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events in a full Thermostat run", k)
+		}
+	}
+	if kinds[telemetry.KindEpochStart] != kinds[telemetry.KindEpochEnd] {
+		t.Errorf("unbalanced epochs: %d starts, %d ends",
+			kinds[telemetry.KindEpochStart], kinds[telemetry.KindEpochEnd])
+	}
+
+	// Epochs tile the run: contiguous, increasing, non-overlapping.
+	for i, s := range snaps {
+		if s.Epoch != uint64(i+1) {
+			t.Fatalf("snapshot %d has epoch %d", i, s.Epoch)
+		}
+		if i > 0 && s.StartNs != snaps[i-1].EndNs {
+			t.Fatalf("epoch %d starts at %d, previous ended at %d", s.Epoch, s.StartNs, snaps[i-1].EndNs)
+		}
+		if s.EndNs < s.StartNs {
+			t.Fatalf("epoch %d ends before it starts", s.Epoch)
+		}
+	}
+
+	// The engine demoted pages, so later epochs must see slow-tier traffic
+	// and a classified cold set.
+	var sawMigration, sawCold, sawConfusion bool
+	for _, s := range snaps {
+		if s.MigrationBytes > 0 {
+			sawMigration = true
+		}
+		if s.ColdBytes > 0 {
+			sawCold = true
+		}
+		if s.ConfusionValid && (s.ColdIdle+s.ColdAccessed+s.HotIdle+s.HotAccessed) > 0 {
+			sawConfusion = true
+		}
+	}
+	if !sawMigration || !sawCold {
+		t.Errorf("no epoch saw migration (%v) / cold bytes (%v)", sawMigration, sawCold)
+	}
+	if !sawConfusion {
+		t.Error("no epoch computed a confusion matrix despite page counts enabled")
+	}
+}
+
+// TestTelemetryDeterministicAcrossRuns is the virtual-time determinism
+// contract at the sim layer: two identical seeded runs export byte-identical
+// traces and metrics.
+func TestTelemetryDeterministicAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scaled run")
+	}
+	t.Parallel()
+	export := func() ([]byte, []byte) {
+		col := telemetry.NewCollector()
+		runTiny(t, col)
+		var tr, js bytes.Buffer
+		if err := col.WriteChromeTrace(&tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := col.WriteJSONL(&js); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Bytes(), js.Bytes()
+	}
+	tr1, js1 := export()
+	tr2, js2 := export()
+	if !bytes.Equal(tr1, tr2) {
+		t.Error("Chrome traces differ between identical seeded runs")
+	}
+	if !bytes.Equal(js1, js2) {
+		t.Error("JSONL metrics differ between identical seeded runs")
+	}
+}

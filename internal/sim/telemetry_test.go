@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+
+	"thermostat/internal/mem"
+	"thermostat/internal/telemetry"
+)
+
+// TestMachineSharesMigratorMeter is the regression test for the meter wiring
+// bug: the machine used to hand the migrator a throwaway mem.NewMeter(0), so
+// Machine-level migration accounting never saw the migrator's traffic.
+func TestMachineSharesMigratorMeter(t *testing.T) {
+	t.Parallel()
+	m := newMachine(t)
+	if m.Meter() != m.Migrator().Meter() {
+		t.Fatal("machine and migrator hold different meters")
+	}
+
+	r, err := m.AllocRegion(2<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Demote(r.Start); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Meter().Pages2M(mem.Demotion); got != 1 {
+		t.Fatalf("machine meter saw %d demoted huge pages, want 1", got)
+	}
+	if got := m.Meter().TotalBytes(); got != 2<<20 {
+		t.Fatalf("machine meter saw %d bytes, want %d", got, 2<<20)
+	}
+	if got := m.Metrics().MigrationBytes; got != 2<<20 {
+		t.Fatalf("Metrics().MigrationBytes = %d, want %d", got, 2<<20)
+	}
+}
+
+func TestMachineEmitsMigrationAndFaultEvents(t *testing.T) {
+	t.Parallel()
+	m := newMachine(t)
+	col := telemetry.NewCollector()
+	m.SetRecorder(col)
+
+	r, err := m.AllocRegion(2<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Demote(r.Start); err != nil {
+		t.Fatal(err)
+	}
+
+	var mig *telemetry.Event
+	for i := range col.Events() {
+		if col.Events()[i].Kind == telemetry.KindMigrated {
+			mig = &col.Events()[i]
+		}
+	}
+	if mig == nil {
+		t.Fatal("no KindMigrated event after Demote")
+	}
+	if mig.Page != r.Start || mig.FromTier != 0 || mig.ToTier != 1 || mig.Bytes != 2<<20 {
+		t.Fatalf("migration event = %+v", *mig)
+	}
+
+	// Poison a page; the next TLB-missing access must emit a fault event.
+	if err := m.Trap().Poison(r.Start, m.VPID()); err != nil {
+		t.Fatal(err)
+	}
+	m.TLB().Invalidate(r.Start, m.VPID())
+	if _, err := m.Access(r.Start, false); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range col.Events() {
+		if e.Kind == telemetry.KindFaultInjected && e.Page == r.Start {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no KindFaultInjected event after poisoned access")
+	}
+
+	// Detaching restores the zero-overhead path.
+	m.SetRecorder(nil)
+	if m.Recorder() != nil {
+		t.Fatal("SetRecorder(nil) left a recorder attached")
+	}
+	n := col.EventCount()
+	if _, err := m.Demote(r.Start + 0); err == nil {
+		// Already in slow tier; a failed demote must not emit.
+		_ = err
+	}
+	if col.EventCount() != n {
+		t.Fatal("events recorded after detach")
+	}
+}
+
+// TestRunWithoutRecorderUnchanged guards the disabled path: a fresh machine
+// must not allocate telemetry state or enable page counting.
+func TestRunWithoutRecorderUnchanged(t *testing.T) {
+	t.Parallel()
+	m := newMachine(t)
+	if m.Recorder() != nil {
+		t.Fatal("fresh machine has a recorder")
+	}
+	if m.PageCounts() != nil {
+		t.Fatal("fresh machine counts pages")
+	}
+}

@@ -17,11 +17,19 @@ type Counter struct {
 	n uint64
 }
 
-// Add increments the counter by delta.
-func (c *Counter) Add(delta uint64) { c.n += delta }
+// Add increments the counter by delta, saturating at the maximum uint64
+// rather than wrapping: a counter that silently restarts from zero would
+// corrupt every rate computed from it.
+func (c *Counter) Add(delta uint64) {
+	if c.n > math.MaxUint64-delta {
+		c.n = math.MaxUint64
+		return
+	}
+	c.n += delta
+}
 
-// Inc increments the counter by one.
-func (c *Counter) Inc() { c.n++ }
+// Inc increments the counter by one, with the same saturation as Add.
+func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.n }

@@ -21,6 +21,29 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+func TestCounterAddSaturates(t *testing.T) {
+	var c Counter
+	c.Add(math.MaxUint64 - 1)
+	c.Add(10) // would wrap to 8 without the guard
+	if c.Value() != math.MaxUint64 {
+		t.Fatalf("Value = %d, want saturation at MaxUint64", c.Value())
+	}
+	c.Inc() // saturated counter must stay saturated
+	if c.Value() != math.MaxUint64 {
+		t.Fatalf("Inc past saturation = %d", c.Value())
+	}
+	c.Add(0) // zero delta at the ceiling is still fine
+	if c.Value() != math.MaxUint64 {
+		t.Fatalf("Add(0) at ceiling = %d", c.Value())
+	}
+
+	var d Counter
+	d.Add(math.MaxUint64) // exact ceiling in one step is not an overflow
+	if d.Value() != math.MaxUint64 {
+		t.Fatalf("Add(MaxUint64) = %d", d.Value())
+	}
+}
+
 func TestRate(t *testing.T) {
 	if got := Rate(30000, 1e9); got != 30000 {
 		t.Errorf("Rate(30000, 1s) = %v", got)
@@ -105,6 +128,51 @@ func TestHistogramQuantileAccuracyProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty Min/Max/Mean = %d/%d/%v", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	// All mass in one (bucket, sub-bucket): every interior quantile must land
+	// in that bucket, and the q<=0 / q>=1 clamps must return the exact
+	// min/max even though the bucket floor is coarser.
+	h := NewHistogram()
+	const v = 1_000_003
+	for i := 0; i < 100; i++ {
+		h.Observe(v)
+	}
+	lo, _ := bucketOf(v)
+	floor := bucketLow(bucketOf(v))
+	if h.Quantile(0) != v || h.Quantile(1) != v {
+		t.Fatalf("q0/q1 = %d/%d, want exact %d", h.Quantile(0), h.Quantile(1), v)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.Quantile(q)
+		if got != floor {
+			t.Fatalf("Quantile(%v) = %d, want bucket floor %d (bucket %d)", q, got, floor, lo)
+		}
+		if got > v || got < v/2 {
+			t.Fatalf("Quantile(%v) = %d outside one log bucket of %d", q, got, v)
+		}
+	}
+
+	// A single sample behaves the same way.
+	one := NewHistogram()
+	one.Observe(7)
+	if one.Quantile(0.5) != 7 || one.Quantile(0) != 7 || one.Quantile(1) != 7 {
+		t.Fatalf("single-sample quantiles = %d/%d/%d, want 7",
+			one.Quantile(0), one.Quantile(0.5), one.Quantile(1))
 	}
 }
 

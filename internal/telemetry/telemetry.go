@@ -1,0 +1,264 @@
+// Package telemetry is the simulator's structured instrumentation layer:
+// typed events stamped in virtual time, per-epoch metric snapshots held in a
+// bounded ring buffer, and exporters (Chrome trace_event JSON, JSONL, a
+// human-readable epoch table).
+//
+// Design constraints (see DESIGN.md "Telemetry"):
+//
+//   - Zero overhead when disabled. Instrumentation sites hold a Recorder
+//     interface that is nil by default and guard every emission with a single
+//     nil check; no event struct is built on the disabled path.
+//
+//   - Virtual-time determinism. Events carry the simulator's virtual clock,
+//     never wall time, and every simulation owns its own Recorder — so two
+//     runs of the same seeded configuration produce byte-identical exports
+//     regardless of how many runs execute concurrently around them.
+//
+//   - Bounded memory. Events are capped (drops are counted, deterministic)
+//     and epoch snapshots live in a fixed-size ring that keeps the most
+//     recent epochs.
+package telemetry
+
+import "thermostat/internal/addr"
+
+// Kind discriminates event types.
+type Kind uint8
+
+// Event kinds. EpochStart/EpochEnd bracket one policy interval; the rest are
+// decision-level events from the engine, migrator, trap and daemons.
+const (
+	// KindEpochStart opens epoch Event.Epoch at Event.TimeNs.
+	KindEpochStart Kind = iota
+	// KindEpochEnd closes the current epoch.
+	KindEpochEnd
+	// KindPageSampled marks a huge page entering the sampling pipeline
+	// (split + poison). Cold reports whether it was already classified cold.
+	KindPageSampled
+	// KindClassified records one classification decision: Page's estimated
+	// access rate (Rate) and the verdict (Cold).
+	KindClassified
+	// KindMigrated records one inter-tier page move: FromTier → ToTier,
+	// Bytes moved.
+	KindMigrated
+	// KindTLBMiss is the per-epoch TLB-miss summary (Count = misses in the
+	// closing epoch). Per-miss events would swamp the trace; the simulator
+	// aggregates.
+	KindTLBMiss
+	// KindFaultInjected records one BadgerTrap poison fault serviced on the
+	// access path.
+	KindFaultInjected
+	// KindHugePageSplit records a 2MB mapping split into 4KB children.
+	KindHugePageSplit
+	// KindHugePageCollapse records 512 children collapsed back to one 2MB
+	// mapping (engine restore or khugepaged).
+	KindHugePageCollapse
+	nKinds
+)
+
+// String names the kind (also the Chrome-trace event name).
+func (k Kind) String() string {
+	switch k {
+	case KindEpochStart:
+		return "epoch-start"
+	case KindEpochEnd:
+		return "epoch-end"
+	case KindPageSampled:
+		return "page-sampled"
+	case KindClassified:
+		return "classified"
+	case KindMigrated:
+		return "migrated"
+	case KindTLBMiss:
+		return "tlb-miss-summary"
+	case KindFaultInjected:
+		return "fault-injected"
+	case KindHugePageSplit:
+		return "huge-split"
+	case KindHugePageCollapse:
+		return "huge-collapse"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one structured simulation event. Fields beyond Kind and TimeNs
+// are kind-specific; unused fields stay zero.
+type Event struct {
+	Kind   Kind
+	TimeNs int64 // virtual time
+	Epoch  uint64
+	Page   addr.Virt // subject page base (0 when not page-scoped)
+	// FromTier and ToTier are migration endpoints (KindMigrated only).
+	FromTier int8
+	ToTier   int8
+	// Bytes is a data volume (migration size).
+	Bytes uint64
+	// Count is a kind-specific tally (faults, misses).
+	Count uint64
+	// Rate is an access-rate estimate in events/sec (KindClassified).
+	Rate float64
+	// Cold is the classification verdict or prior state.
+	Cold bool
+}
+
+// Snapshot is one epoch's metric snapshot, built from machine counter deltas
+// at the closing policy tick.
+type Snapshot struct {
+	Epoch   uint64
+	StartNs int64
+	EndNs   int64
+
+	// Accesses and SlowAccesses are access counts within the epoch;
+	// TierAccesses breaks them down per tier (indexed by mem.TierID).
+	Accesses     uint64
+	SlowAccesses uint64
+	TierAccesses []uint64
+	// TierOccupancy is each tier's used bytes at epoch end.
+	TierOccupancy []uint64
+
+	TLBMisses    uint64
+	LLCMisses    uint64
+	PoisonFaults uint64
+	// PoisonedPages is the number of leaf mappings armed for fault
+	// interception at epoch end.
+	PoisonedPages uint64
+
+	// MigrationBytes, Demotions and Promotions are inter-tier traffic
+	// within the epoch (page counts at 2MB grain).
+	MigrationBytes uint64
+	Demotions      uint64
+	Promotions     uint64
+
+	// ColdBytes/HotBytes are the policy's classification at epoch end.
+	ColdBytes uint64
+	HotBytes  uint64
+
+	// Classification confusion vs. LLC ground truth, valid only when the
+	// machine's page counting is enabled and the policy exposes its cold
+	// set (ConfusionValid). A page is "truly accessed" if it took at least
+	// one LLC miss within the epoch.
+	ConfusionValid bool
+	ColdIdle       uint64 // classified cold, truly idle   (correct)
+	ColdAccessed   uint64 // classified cold, truly active (false cold: pays slow-mem)
+	HotIdle        uint64 // classified hot, truly idle    (missed saving)
+	HotAccessed    uint64 // classified hot, truly active  (correct)
+}
+
+// Recorder receives events and snapshots. Implementations must not retain
+// slices inside the snapshot beyond the call unless they copy them.
+// Instrumentation sites keep a nil Recorder when telemetry is off and guard
+// every emission with a nil check.
+type Recorder interface {
+	Event(Event)
+	Snapshot(Snapshot)
+}
+
+// Nop is the no-op Recorder: it discards everything. It exists for callers
+// that want an always-valid Recorder instead of a nil check.
+type Nop struct{}
+
+// Event implements Recorder.
+func (Nop) Event(Event) {}
+
+// Snapshot implements Recorder.
+func (Nop) Snapshot(Snapshot) {}
+
+// Config bounds a Collector's memory.
+type Config struct {
+	// MaxEvents caps buffered events (default 1<<20); past the cap events
+	// are counted as dropped, deterministically.
+	MaxEvents int
+	// MaxSnapshots sizes the epoch-snapshot ring (default 4096); the ring
+	// keeps the most recent epochs.
+	MaxSnapshots int
+}
+
+// Default collector bounds.
+const (
+	DefaultMaxEvents    = 1 << 20
+	DefaultMaxSnapshots = 4096
+)
+
+// Collector is the standard Recorder: it buffers events, stamps them with
+// the current epoch, and keeps the most recent epoch snapshots in a ring.
+// It is not safe for concurrent use; every simulation owns its own.
+type Collector struct {
+	cfg     Config
+	events  []Event
+	dropped uint64
+
+	snaps []Snapshot // ring storage
+	head  int        // index of oldest snapshot
+	n     int        // live snapshots
+
+	epoch uint64 // current epoch stamp
+}
+
+// NewCollector returns a collector with default bounds.
+func NewCollector() *Collector { return NewCollectorWith(Config{}) }
+
+// NewCollectorWith returns a collector with the given bounds (zero fields
+// select defaults).
+func NewCollectorWith(cfg Config) *Collector {
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = DefaultMaxEvents
+	}
+	if cfg.MaxSnapshots <= 0 {
+		cfg.MaxSnapshots = DefaultMaxSnapshots
+	}
+	return &Collector{cfg: cfg, snaps: make([]Snapshot, 0, cfg.MaxSnapshots)}
+}
+
+// Event implements Recorder. KindEpochStart advances the collector's epoch
+// stamp; every other event is stamped with the current epoch.
+func (c *Collector) Event(e Event) {
+	if e.Kind == KindEpochStart {
+		c.epoch = e.Epoch
+	} else {
+		e.Epoch = c.epoch
+	}
+	if len(c.events) >= c.cfg.MaxEvents {
+		c.dropped++
+		return
+	}
+	c.events = append(c.events, e)
+}
+
+// Snapshot implements Recorder: appends to the ring, evicting the oldest
+// epoch when full.
+func (c *Collector) Snapshot(s Snapshot) {
+	// Deep-copy the per-tier slices; callers may reuse their buffers.
+	s.TierAccesses = append([]uint64(nil), s.TierAccesses...)
+	s.TierOccupancy = append([]uint64(nil), s.TierOccupancy...)
+	if c.n < c.cfg.MaxSnapshots {
+		c.snaps = append(c.snaps, s)
+		c.n++
+		return
+	}
+	c.snaps[c.head] = s
+	c.head = (c.head + 1) % c.cfg.MaxSnapshots
+}
+
+// Epoch returns the current epoch stamp.
+func (c *Collector) Epoch() uint64 { return c.epoch }
+
+// Events returns the buffered events in record order. The slice is the
+// collector's own; callers must not mutate it.
+func (c *Collector) Events() []Event { return c.events }
+
+// Dropped returns the number of events discarded past the MaxEvents cap.
+func (c *Collector) Dropped() uint64 { return c.dropped }
+
+// Snapshots returns the retained epoch snapshots, oldest first.
+func (c *Collector) Snapshots() []Snapshot {
+	if c.head == 0 {
+		return c.snaps[:c.n]
+	}
+	out := make([]Snapshot, 0, c.n)
+	out = append(out, c.snaps[c.head:]...)
+	out = append(out, c.snaps[:c.head]...)
+	return out
+}
+
+// EventCount returns the number of buffered events.
+func (c *Collector) EventCount() int { return len(c.events) }

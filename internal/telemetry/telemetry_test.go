@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thermostat/internal/addr"
+)
+
+var update = flag.Bool("update", false, "rewrite golden export files")
+
+func TestCollectorEpochStamping(t *testing.T) {
+	c := NewCollector()
+	c.Event(Event{Kind: KindFaultInjected, TimeNs: 5}) // before any epoch
+	c.Event(Event{Kind: KindEpochStart, TimeNs: 10, Epoch: 1})
+	c.Event(Event{Kind: KindMigrated, TimeNs: 20, Bytes: 4096})
+	c.Event(Event{Kind: KindEpochEnd, TimeNs: 30})
+	c.Event(Event{Kind: KindEpochStart, TimeNs: 30, Epoch: 2})
+	c.Event(Event{Kind: KindClassified, TimeNs: 40})
+
+	evs := c.Events()
+	wantEpochs := []uint64{0, 1, 1, 1, 2, 2}
+	if len(evs) != len(wantEpochs) {
+		t.Fatalf("got %d events, want %d", len(evs), len(wantEpochs))
+	}
+	for i, e := range evs {
+		if e.Epoch != wantEpochs[i] {
+			t.Errorf("event %d (%v): epoch = %d, want %d", i, e.Kind, e.Epoch, wantEpochs[i])
+		}
+	}
+	if c.Epoch() != 2 {
+		t.Fatalf("Epoch = %d, want 2", c.Epoch())
+	}
+}
+
+func TestCollectorEventCap(t *testing.T) {
+	c := NewCollectorWith(Config{MaxEvents: 3})
+	for i := 0; i < 10; i++ {
+		c.Event(Event{Kind: KindFaultInjected, TimeNs: int64(i)})
+	}
+	if c.EventCount() != 3 {
+		t.Fatalf("EventCount = %d, want 3", c.EventCount())
+	}
+	if c.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", c.Dropped())
+	}
+	// The retained events are the first three, in record order.
+	for i, e := range c.Events() {
+		if e.TimeNs != int64(i) {
+			t.Fatalf("event %d has TimeNs %d", i, e.TimeNs)
+		}
+	}
+}
+
+func TestCollectorSnapshotRing(t *testing.T) {
+	c := NewCollectorWith(Config{MaxSnapshots: 4})
+	for i := uint64(1); i <= 10; i++ {
+		c.Snapshot(Snapshot{Epoch: i})
+	}
+	got := c.Snapshots()
+	if len(got) != 4 {
+		t.Fatalf("retained %d snapshots, want 4", len(got))
+	}
+	// The ring keeps the most recent epochs, oldest first.
+	for i, s := range got {
+		if want := uint64(7 + i); s.Epoch != want {
+			t.Fatalf("snapshot %d: epoch %d, want %d", i, s.Epoch, want)
+		}
+	}
+}
+
+func TestCollectorSnapshotCopiesSlices(t *testing.T) {
+	c := NewCollector()
+	occ := []uint64{100, 200}
+	c.Snapshot(Snapshot{Epoch: 1, TierOccupancy: occ, TierAccesses: occ})
+	occ[0] = 999 // caller reuses its buffer
+	s := c.Snapshots()[0]
+	if s.TierOccupancy[0] != 100 || s.TierAccesses[0] != 100 {
+		t.Fatal("Snapshot retained the caller's slice instead of copying")
+	}
+}
+
+func TestNopRecorder(t *testing.T) {
+	var r Recorder = Nop{}
+	r.Event(Event{Kind: KindMigrated})
+	r.Snapshot(Snapshot{})
+}
+
+// syntheticCollector builds a small, fully deterministic collector whose
+// exports are pinned as golden files.
+func syntheticCollector() *Collector {
+	c := NewCollectorWith(Config{MaxEvents: 8, MaxSnapshots: 8})
+	c.Event(Event{Kind: KindEpochStart, TimeNs: 0, Epoch: 1})
+	c.Event(Event{Kind: KindHugePageSplit, TimeNs: 100_000, Page: addr.Virt(2 << 20)})
+	c.Event(Event{Kind: KindPageSampled, TimeNs: 100_000, Page: addr.Virt(2 << 20), Cold: false})
+	c.Event(Event{Kind: KindFaultInjected, TimeNs: 250_000, Page: addr.Virt(2<<20 + 4096), Count: 1})
+	c.Event(Event{Kind: KindClassified, TimeNs: 900_000, Page: addr.Virt(2 << 20), Rate: 12.5, Cold: true})
+	c.Event(Event{Kind: KindMigrated, TimeNs: 950_000, Page: addr.Virt(2 << 20), FromTier: 0, ToTier: 1, Bytes: 2 << 20})
+	c.Event(Event{Kind: KindTLBMiss, TimeNs: 1_000_000, Count: 4242})
+	c.Event(Event{Kind: KindEpochEnd, TimeNs: 1_000_000})
+	// Past the cap: dropped, counted.
+	c.Event(Event{Kind: KindFaultInjected, TimeNs: 1_000_001})
+	c.Event(Event{Kind: KindFaultInjected, TimeNs: 1_000_002})
+	c.Snapshot(Snapshot{
+		Epoch: 1, StartNs: 0, EndNs: 1_000_000,
+		Accesses: 50_000, SlowAccesses: 120,
+		TierAccesses: []uint64{49_880, 120}, TierOccupancy: []uint64{64 << 20, 2 << 20},
+		TLBMisses: 4242, LLCMisses: 17_000, PoisonFaults: 1, PoisonedPages: 50,
+		MigrationBytes: 2 << 20, Demotions: 1,
+		ColdBytes: 2 << 20, HotBytes: 62 << 20,
+		ConfusionValid: true, ColdIdle: 1, HotAccessed: 30, HotIdle: 2,
+	})
+	return c
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (run with -update after verifying):\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := syntheticCollector().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	// Structural sanity independent of the golden bytes.
+	s := string(out)
+	if !strings.HasPrefix(s, "[\n") || !strings.HasSuffix(s, "\n]\n") {
+		t.Fatal("not a JSON array")
+	}
+	for _, want := range []string{`"ph":"B"`, `"ph":"E"`, `"ph":"i"`, `"ph":"C"`,
+		`"name":"epoch 1"`, `"from_tier":0`, `"to_tier":1`, `"dropped_events"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+	checkGolden(t, "synthetic.trace.json", out)
+}
+
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := syntheticCollector().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "synthetic.metrics.jsonl", buf.Bytes())
+}
+
+func TestEpochTable(t *testing.T) {
+	table := syntheticCollector().EpochTable()
+	for _, want := range []string{"epoch", "cold_mb", "dropped past the 8-event cap"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("epoch table missing %q:\n%s", want, table)
+		}
+	}
+	if lines := strings.Count(table, "\n"); lines != 3 { // header + 1 row + drop note
+		t.Errorf("epoch table has %d lines, want 3:\n%s", lines, table)
+	}
+}
+
+func TestExportsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := syntheticCollector().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := syntheticCollector().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical collectors exported different traces")
+	}
+}

@@ -25,4 +25,19 @@ else
 	go test -race -timeout 45m ./...
 fi
 
+echo "== trace determinism gate"
+# Telemetry is recorded in virtual time, so the same seeded run must export
+# byte-identical traces and metrics no matter how many workers fan the
+# baseline+policy pair out. Run the short simulation serially and with 8
+# workers and compare byte-for-byte.
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/thermostat-sim -app redis -scale tiny -duration 4 -workers 1 \
+	-trace "$tracedir/w1.trace.json" -metrics "$tracedir/w1.metrics.jsonl" >/dev/null
+go run ./cmd/thermostat-sim -app redis -scale tiny -duration 4 -workers 8 \
+	-trace "$tracedir/w8.trace.json" -metrics "$tracedir/w8.metrics.jsonl" >/dev/null
+cmp "$tracedir/w1.trace.json" "$tracedir/w8.trace.json"
+cmp "$tracedir/w1.metrics.jsonl" "$tracedir/w8.metrics.jsonl"
+echo "traces byte-identical at -workers 1 and -workers 8"
+
 echo "check: OK"

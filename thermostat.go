@@ -41,6 +41,7 @@ import (
 	"thermostat/internal/hugepaged"
 	"thermostat/internal/mem"
 	"thermostat/internal/sim"
+	"thermostat/internal/telemetry"
 	"thermostat/internal/workload"
 )
 
@@ -277,6 +278,36 @@ func InMemAnalytics() WorkloadSpec { return workload.InMemAnalytics() }
 
 // WebSearch is the Solr search model.
 func WebSearch() WorkloadSpec { return workload.WebSearch() }
+
+// Telemetry: attach a TelemetryCollector through MachineConfig.Recorder (or
+// Machine.SetRecorder) to record typed events and per-epoch metric snapshots
+// in virtual time, then export them with WriteChromeTrace (Perfetto),
+// WriteJSONL, or EpochTable. With no recorder attached the instrumentation
+// is a single nil check per site.
+
+// TelemetryRecorder receives events and snapshots; implemented by
+// TelemetryCollector and by application-defined sinks.
+type TelemetryRecorder = telemetry.Recorder
+
+// TelemetryCollector is the bounded in-memory recorder with exporters.
+type TelemetryCollector = telemetry.Collector
+
+// TelemetryConfig bounds a collector (max events, max snapshots).
+type TelemetryConfig = telemetry.Config
+
+// TelemetryEvent is one typed, virtual-time-stamped occurrence.
+type TelemetryEvent = telemetry.Event
+
+// TelemetrySnapshot is one epoch's metric snapshot.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// NewTelemetryCollector returns a collector with default bounds.
+func NewTelemetryCollector() *TelemetryCollector { return telemetry.NewCollector() }
+
+// NewTelemetryCollectorWith returns a collector with explicit bounds.
+func NewTelemetryCollectorWith(cfg TelemetryConfig) *TelemetryCollector {
+	return telemetry.NewCollectorWith(cfg)
+}
 
 // Stack composes a placement policy with background daemons; all tick at
 // their own intervals within one run.
