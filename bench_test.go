@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"thermostat/internal/harness"
+	"thermostat/internal/sim"
 	"thermostat/internal/workload"
 )
 
@@ -213,6 +214,57 @@ func BenchmarkAccessPath(b *testing.B) {
 		v, w := app.Next()
 		if _, err := m.Access(v, w); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAccessBatch measures the batched access engine on the same
+// machine and workload as BenchmarkAccessPath; the per-op delta between the
+// two is the overhead AccessBatch amortizes (VPID fetch, counter increments,
+// per-op call dispatch).
+func BenchmarkAccessBatch(b *testing.B) {
+	m, err := NewMachine(DefaultMachineConfig(64<<20, 64<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := NewWorkload(Redis(), 1024, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := app.Init(m); err != nil {
+		b.Fatal(err)
+	}
+	const batch = 2048
+	reqs := make([]sim.Req, batch)
+	lats := make([]int64, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		n := batch
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		got := app.NextBatch(reqs[:n])
+		if err := m.AccessBatch(reqs[:got], 0, lats[:got], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunRedis measures the end-to-end wall-clock of one seeded
+// Thermostat run (redis at tiny scale): workload generation, the access
+// path, policy scans and migrations together. This is the single-run
+// latency every experiment in the harness pays per grid cell.
+func BenchmarkRunRedis(b *testing.B) {
+	sc := harness.Tiny()
+	sc.DurationNs = 4e9
+	sc.WarmupNs = 1e9
+	for i := 0; i < b.N; i++ {
+		out, err := harness.RunThermostat(workload.Redis(), sc, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(out.Result.Ops), "sim_ops")
 		}
 	}
 }

@@ -61,10 +61,11 @@ func (t *Trap) FaultLatency() int64 { return t.lat }
 // at either grain — per-4KB-PTE for sampled split pages, per-PMD for whole
 // cold huge pages under §3.5 monitoring. Fails if v is unmapped.
 func (t *Trap) Poison(v addr.Virt, vpid tlb.VPID) error {
-	if _, _, ok := t.pt.Lookup(v); !ok {
+	e, _, ok := t.pt.EntryRef(v)
+	if !ok {
 		return fmt.Errorf("badgertrap: poison of unmapped %s", v)
 	}
-	t.pt.SetFlags(v, pagetable.Poisoned)
+	e.Flags |= pagetable.Poisoned
 	t.tl.Invalidate(v, vpid)
 	return nil
 }
@@ -93,21 +94,21 @@ func (t *Trap) IsPoisoned(v addr.Virt) bool {
 // the fault fires even when the target line is cache-resident — the
 // documented over-estimation.
 func (t *Trap) Handle(f fault.Fault) (int64, error) {
-	e, lvl, ok := t.pt.Lookup(f.Virt)
+	e, lvl, ok := t.pt.EntryRef(f.Virt)
 	if !ok || !e.Flags.Has(pagetable.Poisoned) {
 		return 0, fmt.Errorf("badgertrap: spurious poison fault at %s", f.Virt)
 	}
-	// Unpoison so the access can complete, mark the architectural bits the
-	// walk would have set, and install the translation the walker found.
-	t.pt.ClearFlags(f.Virt, pagetable.Poisoned)
+	// The handler unpoisons so the access can complete, marks the
+	// architectural bits the walk would have set, installs the translation,
+	// and re-poisons. The PTE ends with Poisoned still set plus the new
+	// Accessed/Dirty bits, so the unpoison/re-poison pair reduces to a single
+	// flag OR on the entry.
 	mark := pagetable.Accessed
 	if f.Write {
 		mark |= pagetable.Dirty
 	}
-	t.pt.SetFlags(f.Virt, mark)
+	e.Flags |= mark
 	t.tl.Insert(f.Virt, lvl, e.Frame, f.VPID)
-	// Re-poison: the next TLB miss to this page faults again.
-	t.pt.SetFlags(f.Virt, pagetable.Poisoned)
 
 	t.counts[leafBase(f.Virt, lvl)]++
 	t.faults.Inc()
@@ -133,6 +134,13 @@ func (t *Trap) Count(v addr.Virt) uint64 {
 	}
 	return t.counts[v.Base2M()]
 }
+
+// CountLeaf returns the poison-fault count recorded for the leaf page whose
+// base address is base. Unlike Count it does not consult the page table, so
+// base must already be a leaf base address — which is what the engine holds
+// for every page it tracks (bases come from Scan or from the split layout).
+// For a currently-mapped leaf base, CountLeaf(base) == Count(base).
+func (t *Trap) CountLeaf(base addr.Virt) uint64 { return t.counts[base] }
 
 // TotalFaults returns the lifetime number of poison faults handled.
 func (t *Trap) TotalFaults() uint64 { return t.faults.Value() }

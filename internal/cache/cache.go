@@ -33,10 +33,10 @@ type Cache struct {
 	lineShift uint
 	nSets     uint64
 	ways      int
-	// tags[set*ways : (set+1)*ways] holds line tags, most recent first;
-	// valid[i] marks live entries.
-	tags  []uint64
-	valid []bool
+	// tags[set*ways : (set+1)*ways] holds line tags biased by +1, most
+	// recent first; 0 marks an invalid way, so no separate valid bitmap is
+	// needed on the per-access path.
+	tags []uint64
 
 	hits   stats.Counter
 	misses stats.Counter
@@ -70,7 +70,6 @@ func New(cfg Config) *Cache {
 		nSets:     nSets,
 		ways:      cfg.Ways,
 		tags:      make([]uint64, nSets*uint64(cfg.Ways)),
-		valid:     make([]bool, nSets*uint64(cfg.Ways)),
 	}
 }
 
@@ -80,27 +79,25 @@ func (c *Cache) Access(p addr.Phys) bool {
 	line := uint64(p) >> c.lineShift
 	set := line % c.nSets
 	base := int(set) * c.ways
-	// Search the set.
-	for i := 0; i < c.ways; i++ {
-		if c.valid[base+i] && c.tags[base+i] == line {
+	ways := c.tags[base : base+c.ways]
+	tag := line + 1
+	if ways[0] == tag {
+		c.hits.Inc()
+		return true
+	}
+	// Search the rest of the set.
+	for i := 1; i < len(ways); i++ {
+		if ways[i] == tag {
 			// Move to front (LRU position 0).
-			for j := i; j > 0; j-- {
-				c.tags[base+j] = c.tags[base+j-1]
-				c.valid[base+j] = c.valid[base+j-1]
-			}
-			c.tags[base] = line
-			c.valid[base] = true
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = tag
 			c.hits.Inc()
 			return true
 		}
 	}
 	// Miss: evict LRU (last way), shift, insert at front.
-	for j := c.ways - 1; j > 0; j-- {
-		c.tags[base+j] = c.tags[base+j-1]
-		c.valid[base+j] = c.valid[base+j-1]
-	}
-	c.tags[base] = line
-	c.valid[base] = true
+	copy(ways[1:], ways)
+	ways[0] = tag
 	c.misses.Inc()
 	return false
 }
@@ -112,7 +109,7 @@ func (c *Cache) Contains(p addr.Phys) bool {
 	set := line % c.nSets
 	base := int(set) * c.ways
 	for i := 0; i < c.ways; i++ {
-		if c.valid[base+i] && c.tags[base+i] == line {
+		if c.tags[base+i] == line+1 {
 			return true
 		}
 	}
@@ -121,8 +118,8 @@ func (c *Cache) Contains(p addr.Phys) bool {
 
 // Flush invalidates every line.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.tags {
+		c.tags[i] = 0
 	}
 }
 

@@ -157,9 +157,11 @@ func (e *Engine) scopeRanges() []addr.Range {
 }
 
 // delta returns the page's fault-count increase since this engine last
-// looked, without disturbing the shared trap state.
+// looked, without disturbing the shared trap state. base is always the base
+// address of a currently-mapped leaf (a cold huge page or a split child), so
+// the trap's CountLeaf fast path applies.
 func (e *Engine) delta(base addr.Virt) uint64 {
-	c := e.m.Trap().Count(base)
+	c := e.m.Trap().CountLeaf(base)
 	d := c - e.seen[base]
 	e.seen[base] = c
 	return d
@@ -168,7 +170,7 @@ func (e *Engine) delta(base addr.Virt) uint64 {
 // snapshot records the page's current count as already-consumed, so the
 // next delta covers only events from now on.
 func (e *Engine) snapshot(base addr.Virt) {
-	e.seen[base] = e.m.Trap().Count(base)
+	e.seen[base] = e.m.Trap().CountLeaf(base)
 }
 
 // Name implements sim.Policy.
@@ -534,15 +536,10 @@ func (e *Engine) scanClassify(intervalSec float64) error {
 // poisons first and re-arming PMD-grain monitoring if the page is cold.
 func (e *Engine) restore(s *sample) error {
 	pt := e.m.PageTable()
-	for i := 0; i < addr.PagesPerHuge; i++ {
-		child := s.base + addr.Virt(uint64(i)*addr.PageSize4K)
-		ce, _, ok := pt.Lookup(child)
-		if !ok {
-			return fmt.Errorf("core: sampled child %s vanished", child)
-		}
-		if ce.Flags.Has(pagetable.Poisoned) {
-			pt.ClearFlags(child, pagetable.Poisoned)
-		}
+	region := addr.NewRange(s.base, addr.PageSize2M)
+	if n := pt.ClearFlagsRange(region, pagetable.Poisoned); n != addr.PagesPerHuge {
+		return fmt.Errorf("core: sampled children of %s vanished (%d of %d left)",
+			s.base, n, addr.PagesPerHuge)
 	}
 	if err := pt.Collapse(s.base); err != nil {
 		return fmt.Errorf("core: collapse %s: %w", s.base, err)

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"thermostat/internal/core"
+	"thermostat/internal/sim"
+	"thermostat/internal/workload"
+)
+
+// runThermostatBatch replicates RunThermostatWith but exposes the
+// DisableBatch switch, so the test can compare the batched engine against
+// the per-op reference on a full Thermostat experiment.
+func runThermostatBatch(t *testing.T, spec workload.Spec, sc Scale, disable bool) *sim.RunResult {
+	t.Helper()
+	cfg := sc.MachineConfig(spec, true)
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := sc.NewApp(spec, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sc.Group(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(g, sc.Seed+0x7e)
+	res, err := sim.Run(m, app, eng, sim.RunConfig{
+		DurationNs: sc.DurationNs, WarmupNs: sc.WarmupNs, WindowNs: sc.PeriodNs,
+		DisableBatch: disable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestThermostatBatchSerialEquivalence proves the batched hot path is
+// bit-identical end to end: a seeded redis run under the full Thermostat
+// engine (sampling, classification, migration, THP churn) must produce a
+// deep-equal RunResult with batching on and off.
+func TestThermostatBatchSerialEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second differential run")
+	}
+	t.Parallel()
+	spec, ok := workload.ByName("redis")
+	if !ok {
+		t.Fatal("redis spec missing")
+	}
+	sc := Tiny()
+	batched := runThermostatBatch(t, spec, sc, false)
+	serial := runThermostatBatch(t, spec, sc, true)
+	if batched.Ops != serial.Ops {
+		t.Errorf("ops: batched %d serial %d", batched.Ops, serial.Ops)
+	}
+	if !reflect.DeepEqual(batched.Metrics, serial.Metrics) {
+		t.Errorf("metrics diverge:\nbatched %+v\nserial  %+v", batched.Metrics, serial.Metrics)
+	}
+	if !reflect.DeepEqual(batched, serial) {
+		t.Error("run results diverge (series/histograms/footprints)")
+	}
+	if batched.Metrics.SlowAccesses == 0 {
+		t.Error("no slow accesses — Thermostat never demoted, differential run too weak")
+	}
+}

@@ -74,7 +74,7 @@ type Result struct {
 func (s *Scanner) Scan() Result {
 	var res Result
 	seen := make(map[addr.Virt]struct{}, len(s.state))
-	s.pt.Scan(func(base addr.Virt, e *pagetable.Entry, lvl pagetable.Level) {
+	s.pt.ScanClear(pagetable.Accessed, func(base addr.Virt, prior pagetable.Flags, lvl pagetable.Level) {
 		res.Scanned++
 		st := s.state[base]
 		if st == nil {
@@ -83,11 +83,10 @@ func (s *Scanner) Scan() Result {
 		}
 		st.Level = lvl
 		seen[base] = struct{}{}
-		if e.Flags.Has(pagetable.Accessed) {
+		if prior.Has(pagetable.Accessed) {
 			res.AccessedSet++
 			st.IdleScans = 0
 			st.HotStreak++
-			e.Flags &^= pagetable.Accessed
 			s.tl.Invalidate(base, s.vpid)
 		} else {
 			st.IdleScans++
@@ -159,12 +158,11 @@ func (s *Scanner) HotSubpages(hugeBase addr.Virt, streak int) int {
 // poisoning (§3.2 step one).
 func AccessedSubpages(pt *pagetable.Table, hugeBase addr.Virt) []int {
 	var out []int
-	for i := 0; i < addr.PagesPerHuge; i++ {
-		v := hugeBase + addr.Virt(uint64(i)*addr.PageSize4K)
-		e, lvl, ok := pt.Lookup(v)
-		if ok && lvl == pagetable.Level4K && e.Flags.Has(pagetable.Accessed) {
-			out = append(out, i)
+	r := addr.NewRange(hugeBase, addr.PageSize2M)
+	pt.ScanRange(r, func(v addr.Virt, e *pagetable.Entry, lvl pagetable.Level) {
+		if lvl == pagetable.Level4K && e.Flags.Has(pagetable.Accessed) {
+			out = append(out, int(uint64(v-hugeBase)>>addr.PageShift4K))
 		}
-	}
+	})
 	return out
 }

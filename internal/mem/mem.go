@@ -19,6 +19,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	mathbits "math/bits"
 	"sync"
 
 	"thermostat/internal/addr"
@@ -226,7 +227,7 @@ func (c *childMap) take() int {
 		if bits == 0 {
 			continue
 		}
-		b := trailingZeros(bits)
+		b := mathbits.TrailingZeros64(bits)
 		c.free[w] &^= 1 << uint(b)
 		c.nFree--
 		return w*64 + b
@@ -242,15 +243,6 @@ func (c *childMap) put(i int) bool {
 	c.free[w] |= 1 << b
 	c.nFree++
 	return true
-}
-
-func trailingZeros(v uint64) int {
-	n := 0
-	for v&1 == 0 {
-		v >>= 1
-		n++
-	}
-	return n
 }
 
 // NewTier builds a tier with the given identity and spec.

@@ -14,6 +14,7 @@ package pagetable
 
 import (
 	"fmt"
+	"sort"
 
 	"thermostat/internal/addr"
 )
@@ -74,15 +75,80 @@ type node struct {
 	liveChildren int
 }
 
+// leafRef locates one present leaf entry: the node holding it, the slot
+// within that node, and the leaf's virtual base. Entry pointers derived from
+// a leafRef stay valid for the leaf's lifetime because nodes are never
+// reallocated, only unlinked.
+type leafRef struct {
+	base addr.Virt
+	n    *node
+	slot int32
+	lvl  Level
+}
+
 // Table is a 4-level page table.
+//
+// Alongside the radix tree it maintains leaves, an ordered flat index of all
+// present leaf entries sorted by virtual base address. The index is updated
+// incrementally by every structural mutation (Map4K, Map2M, Unmap, Split,
+// Collapse) and lets Scan/ScanRange run as linear sweeps instead of radix
+// descents. Invariant: leaves holds exactly one entry per present leaf, in
+// strictly increasing base order — the same order a depth-first radix walk
+// produces (scanRadix is kept as the reference walk and the fuzz oracle).
 type Table struct {
 	root    *node
 	count4K int
 	count2M int
+	leaves  []leafRef
 }
 
 // New returns an empty table.
 func New() *Table { return &Table{root: &node{}} }
+
+// leafPos returns the index of the first flat-index entry with base >= b.
+func (t *Table) leafPos(b addr.Virt) int {
+	return sort.Search(len(t.leaves), func(i int) bool { return t.leaves[i].base >= b })
+}
+
+// spliceLeaves replaces t.leaves[pos:pos+del] with ins.
+func (t *Table) spliceLeaves(pos, del int, ins []leafRef) {
+	old := t.leaves
+	nl := len(old) - del + len(ins)
+	if nl > cap(old) {
+		grown := make([]leafRef, nl, nl+nl/2+8)
+		copy(grown, old[:pos])
+		copy(grown[pos:], ins)
+		copy(grown[pos+len(ins):], old[pos+del:])
+		t.leaves = grown
+		return
+	}
+	t.leaves = old[:nl]
+	copy(t.leaves[pos+len(ins):], old[pos+del:])
+	copy(t.leaves[pos:], ins)
+	// Zero any abandoned tail so pruned nodes can be collected.
+	for k := nl; k < len(old); k++ {
+		old[k] = leafRef{}
+	}
+}
+
+// insertLeaf adds one leaf to the flat index. Mappings are installed by a
+// bump-pointer allocator in practice, so appending at the end is the common
+// case; anything else falls back to a binary search and splice.
+func (t *Table) insertLeaf(r leafRef) {
+	if n := len(t.leaves); n == 0 || t.leaves[n-1].base < r.base {
+		t.leaves = append(t.leaves, r)
+		return
+	}
+	t.spliceLeaves(t.leafPos(r.base), 0, []leafRef{r})
+}
+
+// removeLeaf drops the leaf with the given base from the flat index.
+func (t *Table) removeLeaf(b addr.Virt) {
+	pos := t.leafPos(b)
+	if pos < len(t.leaves) && t.leaves[pos].base == b {
+		t.spliceLeaves(pos, 1, nil)
+	}
+}
 
 // Count4K returns the number of present 4KB leaf entries.
 func (t *Table) Count4K() int { return t.count4K }
@@ -134,6 +200,7 @@ func (t *Table) Map4K(v addr.Virt, p addr.Phys, flags Flags) error {
 	pt.entries[i] = Entry{Frame: p.Base4K(), Flags: flags | Present}
 	pt.liveLeaves++
 	t.count4K++
+	t.insertLeaf(leafRef{base: v.Base4K(), n: pt, slot: int32(i), lvl: Level4K})
 	return nil
 }
 
@@ -160,6 +227,7 @@ func (t *Table) Map2M(v addr.Virt, p addr.Phys, flags Flags) error {
 	pd.entries[i] = Entry{Frame: p, Flags: flags | Present | Huge}
 	pd.liveLeaves++
 	t.count2M++
+	t.insertLeaf(leafRef{base: v, n: pd, slot: int32(i), lvl: Level2M})
 	return nil
 }
 
@@ -332,6 +400,7 @@ func (t *Table) Unmap(v addr.Virt) (Entry, Level, error) {
 			n.entries[i] = Entry{}
 			n.liveLeaves--
 			t.count2M--
+			t.removeLeaf(v.Base2M())
 			t.prune(path[:4-l+1])
 			return e, Level2M, nil
 		}
@@ -343,6 +412,7 @@ func (t *Table) Unmap(v addr.Virt) (Entry, Level, error) {
 			n.entries[i] = Entry{}
 			n.liveLeaves--
 			t.count4K--
+			t.removeLeaf(v.Base4K())
 			t.prune(path[:])
 			return e, Level4K, nil
 		}
@@ -403,6 +473,17 @@ func (t *Table) Split(v addr.Virt) error {
 	pd.liveChildren++
 	t.count2M--
 	t.count4K += addr.PagesPerHuge
+	// Flat index: the huge leaf's slot becomes 512 contiguous child refs.
+	children := make([]leafRef, addr.PagesPerHuge)
+	for j := range children {
+		children[j] = leafRef{
+			base: hv + addr.Virt(uint64(j)*addr.PageSize4K),
+			n:    pt,
+			slot: int32(j),
+			lvl:  Level4K,
+		}
+	}
+	t.spliceLeaves(t.leafPos(hv), 1, children)
 	return nil
 }
 
@@ -446,6 +527,9 @@ func (t *Table) Collapse(v addr.Virt) error {
 	pd.liveLeaves++
 	t.count2M++
 	t.count4K -= addr.PagesPerHuge
+	// Flat index: 512 contiguous child refs collapse back to one huge ref.
+	t.spliceLeaves(t.leafPos(hv), addr.PagesPerHuge,
+		[]leafRef{{base: hv, n: pd, slot: int32(i), lvl: Level2M}})
 	return nil
 }
 
@@ -461,8 +545,21 @@ func (t *Table) IsSplit(v addr.Virt) bool {
 // subsequent walks (this is how scanners clear Accessed bits).
 type LeafVisitor func(base addr.Virt, e *Entry, lvl Level)
 
-// Scan visits every present leaf in the table in address order.
+// Scan visits every present leaf in the table in address order. It sweeps
+// the flat leaf index linearly; the visitor must not structurally mutate the
+// table (Map/Unmap/Split/Collapse) mid-scan — collect first, mutate after,
+// as with the radix walk this replaces.
 func (t *Table) Scan(fn LeafVisitor) {
+	ls := t.leaves
+	for i := range ls {
+		fn(ls[i].base, &ls[i].n.entries[ls[i].slot], ls[i].lvl)
+	}
+}
+
+// scanRadix is the original depth-first radix walk. It is retained as the
+// reference visit order the flat index must reproduce (see FuzzLeafIndex)
+// and as the radix side of BenchmarkPTScan.
+func (t *Table) scanRadix(fn LeafVisitor) {
 	t.scanNode(t.root, 4, 0, fn)
 }
 
@@ -485,11 +582,59 @@ func (t *Table) scanNode(n *node, level int, prefix uint64, fn LeafVisitor) {
 	}
 }
 
-// ScanRange visits present leaves whose base addresses fall in r.
+// ScanRange visits present leaves whose base addresses fall in r: a binary
+// search to the first leaf at or above r.Start, then a linear sweep to r.End.
 func (t *Table) ScanRange(r addr.Range, fn LeafVisitor) {
-	t.Scan(func(base addr.Virt, e *Entry, lvl Level) {
-		if r.Contains(base) {
-			fn(base, e, lvl)
+	ls := t.leaves
+	for i := t.leafPos(r.Start); i < len(ls) && ls[i].base < r.End; i++ {
+		fn(ls[i].base, &ls[i].n.entries[ls[i].slot], ls[i].lvl)
+	}
+}
+
+// ScanClear visits every present leaf in address order, clearing mask from
+// its flags, and reports the leaf's prior flags to fn. Entries without any
+// mask bit set are not written, so a scan over mostly-idle leaves stays
+// read-mostly. fn may be nil to clear without observing.
+func (t *Table) ScanClear(mask Flags, fn func(base addr.Virt, prior Flags, lvl Level)) {
+	ls := t.leaves
+	for i := range ls {
+		e := &ls[i].n.entries[ls[i].slot]
+		prior := e.Flags
+		if prior&mask != 0 {
+			e.Flags = prior &^ mask
 		}
-	})
+		if fn != nil {
+			fn(ls[i].base, prior, ls[i].lvl)
+		}
+	}
+}
+
+// ClearFlagsRange clears mask from every present leaf whose base falls in r
+// and returns the number of leaves visited. It is the batched form of
+// per-page ClearFlags for the engine's restore pass: one index splice-free
+// sweep instead of one radix descent per page.
+func (t *Table) ClearFlagsRange(r addr.Range, mask Flags) int {
+	ls := t.leaves
+	visited := 0
+	for i := t.leafPos(r.Start); i < len(ls) && ls[i].base < r.End; i++ {
+		e := &ls[i].n.entries[ls[i].slot]
+		if e.Flags&mask != 0 {
+			e.Flags &^= mask
+		}
+		visited++
+	}
+	return visited
+}
+
+// EntryRef returns a pointer to the leaf entry mapping v, its level, and
+// whether v is mapped. The pointer stays valid until the leaf is unmapped,
+// split, or collapsed; mutations through it are visible to later walks. It
+// exists so fault handlers can read and update several flag bits with one
+// descent instead of separate Lookup/SetFlags/ClearFlags calls.
+func (t *Table) EntryRef(v addr.Virt) (*Entry, Level, bool) {
+	e, lvl := t.entryRef(v)
+	if e == nil {
+		return nil, 0, false
+	}
+	return e, lvl, true
 }

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/mem"
+	"thermostat/internal/pagetable"
+	"thermostat/internal/rng"
+)
+
+// batchUniformApp is uniformApp plus the BatchApp fast path. NextBatch must
+// consume the RNG in exactly the order Next does.
+type batchUniformApp struct {
+	uniformApp
+}
+
+func (a *batchUniformApp) NextBatch(reqs []Req) int {
+	for i := range reqs {
+		off := a.r.Uint64n(a.region.Size())
+		reqs[i] = Req{V: a.region.Start + addr.Virt(off), Write: a.r.Bool(0.1)}
+	}
+	return len(reqs)
+}
+
+// churnPolicy demotes a sliding window of huge pages each tick and promotes
+// the previously demoted window, keeping poison faults and migrations active
+// throughout the run so the differential tests exercise the full access path
+// (TLB invalidations, fault dispatch, slow-tier costing).
+type churnPolicy struct {
+	interval int64
+	region   addr.Range
+	cursor   int
+	demoted  []addr.Virt
+}
+
+func (p *churnPolicy) Name() string            { return "churn" }
+func (p *churnPolicy) IntervalNs() int64       { return p.interval }
+func (p *churnPolicy) Attach(m *Machine) error { return nil }
+func (p *churnPolicy) Footprint(m *Machine) Footprint {
+	return ScanFootprint(m, nil)
+}
+
+func (p *churnPolicy) Tick(m *Machine, now int64) error {
+	for _, v := range p.demoted {
+		if _, err := m.Promote(v); err != nil {
+			return err
+		}
+	}
+	p.demoted = p.demoted[:0]
+	pages := int(p.region.Size() / addr.PageSize2M)
+	for i := 0; i < 2 && pages > 0; i++ {
+		v := p.region.Start + addr.Virt(uint64(p.cursor%pages)*addr.PageSize2M)
+		if _, err := m.Demote(v); err != nil {
+			return err
+		}
+		p.demoted = append(p.demoted, v)
+		p.cursor++
+	}
+	return nil
+}
+
+// runPair executes the same seeded workload twice — once batched, once with
+// DisableBatch — and returns both results and machines.
+func runPair(t *testing.T, rc RunConfig, mode SlowMemMode) (batched, serial *RunResult, mb, ms *Machine) {
+	t.Helper()
+	run := func(disable bool) (*RunResult, *Machine) {
+		cfg := DefaultConfig(64<<20, 64<<20)
+		cfg.Mode = mode
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.EnablePageCounts()
+		app := &batchUniformApp{uniformApp{
+			name: "batch-uniform", size: 8 << 20, huge: true,
+			r: rng.New(42), compute: 300,
+		}}
+		pol := &churnPolicy{interval: 1e8}
+		// The app allocates in Init; give the policy the region afterwards
+		// via a wrapper policy Attach is too early for, so hook Tick lazily.
+		rc := rc
+		rc.DisableBatch = disable
+		res, err := Run(m, &regionWire{app: app, pol: pol}, pol, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, m
+	}
+	batched, mb = run(false)
+	serial, ms = run(true)
+	return batched, serial, mb, ms
+}
+
+// regionWire forwards App calls and points the policy at the app's region
+// once Init has allocated it.
+type regionWire struct {
+	app *batchUniformApp
+	pol *churnPolicy
+}
+
+func (w *regionWire) Name() string { return w.app.Name() }
+func (w *regionWire) Init(m *Machine) error {
+	if err := w.app.Init(m); err != nil {
+		return err
+	}
+	w.pol.region = w.app.region
+	return nil
+}
+func (w *regionWire) Next() (addr.Virt, bool)          { return w.app.Next() }
+func (w *regionWire) NextBatch(reqs []Req) int         { return w.app.NextBatch(reqs) }
+func (w *regionWire) ComputeNs() int64                 { return w.app.ComputeNs() }
+func (w *regionWire) Tick(m *Machine, now int64) error { return w.app.Tick(m, now) }
+
+func checkRunPairEqual(t *testing.T, batched, serial *RunResult, mb, ms *Machine) {
+	t.Helper()
+	if batched.Ops != serial.Ops {
+		t.Errorf("ops: batched %d serial %d", batched.Ops, serial.Ops)
+	}
+	if batched.DurationNs != serial.DurationNs {
+		t.Errorf("duration: batched %d serial %d", batched.DurationNs, serial.DurationNs)
+	}
+	if batched.Throughput != serial.Throughput {
+		t.Errorf("throughput: batched %v serial %v", batched.Throughput, serial.Throughput)
+	}
+	if !reflect.DeepEqual(batched.Metrics, serial.Metrics) {
+		t.Errorf("metrics diverge:\nbatched %+v\nserial  %+v", batched.Metrics, serial.Metrics)
+	}
+	if !reflect.DeepEqual(batched, serial) {
+		t.Error("run results diverge beyond summarized fields (series or histograms)")
+	}
+	if !reflect.DeepEqual(mb.PageCounts(), ms.PageCounts()) {
+		t.Error("ground-truth page counts diverge")
+	}
+}
+
+// TestBatchSerialEquivalence is the differential proof that the batched
+// access engine is bit-identical to the per-op path: same seeded run, same
+// policy churn, compared field by field including histograms and series.
+func TestBatchSerialEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second differential run")
+	}
+	t.Parallel()
+	rc := RunConfig{DurationNs: 8e8, WindowNs: 1e8, WarmupNs: 3e8, OpsPerRequest: 16}
+	for _, mode := range []SlowMemMode{EmulatedFault, Device} {
+		batched, serial, mb, ms := runPair(t, rc, mode)
+		checkRunPairEqual(t, batched, serial, mb, ms)
+		if batched.Metrics.PoisonFaults == 0 {
+			t.Errorf("%s: no poison faults — differential run not exercising the fault path", mode)
+		}
+	}
+}
+
+// TestBatchSerialEquivalenceMaxOps pins the MaxOps cap interaction: the
+// batch sizing must clamp to the remaining budget so both paths stop at the
+// same op.
+func TestBatchSerialEquivalenceMaxOps(t *testing.T) {
+	t.Parallel()
+	rc := RunConfig{DurationNs: 1e12, WindowNs: 1e8, MaxOps: 12345}
+	batched, serial, mb, ms := runPair(t, rc, EmulatedFault)
+	checkRunPairEqual(t, batched, serial, mb, ms)
+	if batched.Ops != 12345 {
+		t.Errorf("ops = %d, want MaxOps 12345", batched.Ops)
+	}
+}
+
+// TestPageCountsRegression pins the dense-counter PageCounts against the
+// original map semantics: counts key on 2MB bases, record LLC misses only,
+// include the below-base map fallback, and survive resets.
+func TestPageCountsRegression(t *testing.T) {
+	t.Parallel()
+	m := newMachine(t)
+	if m.PageCounts() != nil {
+		t.Fatal("PageCounts non-nil before EnablePageCounts")
+	}
+	m.EnablePageCounts()
+	r, err := m.AllocRegion(6<<20, true) // three huge pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := r.Start.Base2M()
+
+	// Touch distinct cache lines: every first touch is an LLC miss and must
+	// count; a second touch of the same line hits and must not.
+	want := map[addr.Virt]uint64{}
+	for page := 0; page < 3; page++ {
+		pb := base + addr.Virt(uint64(page)*addr.PageSize2M)
+		for line := 0; line < 10*(page+1); line++ {
+			v := pb + addr.Virt(uint64(line)*64)
+			if _, err := m.Access(v, false); err != nil {
+				t.Fatal(err)
+			}
+			want[pb]++
+		}
+	}
+	if _, err := m.Access(base, false); err != nil { // cached line: no miss
+		t.Fatal(err)
+	}
+	if got := m.PageCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("PageCounts = %v, want %v", got, want)
+	}
+
+	// Below-base addresses (never produced by AllocRegion) still count via
+	// the map fallback with identical key semantics.
+	low := m.Config().VirtBase - addr.Virt(4*addr.PageSize2M)
+	frame, err := m.Memory().Tier(mem.Fast).Alloc2M()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PageTable().Map2M(low, frame, pagetable.Writable); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Access(low+128, true); err != nil {
+		t.Fatal(err)
+	}
+	want[low] = 1
+	if got := m.PageCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("PageCounts with low page = %v, want %v", got, want)
+	}
+
+	m.ResetPageCounts()
+	if got := m.PageCounts(); len(got) != 0 {
+		t.Fatalf("PageCounts after reset = %v, want empty", got)
+	}
+	if _, err := m.Access(base+addr.Virt(512*64), false); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PageCounts(); len(got) != 1 || got[base] != 1 {
+		t.Fatalf("PageCounts after reset+miss = %v, want {%v:1}", got, base)
+	}
+}

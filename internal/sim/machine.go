@@ -169,6 +169,19 @@ type Machine struct {
 	clock int64
 	next  addr.Virt // bump pointer for region allocation
 
+	// tierReadLat/tierWriteLat are the per-tier device latencies, indexed
+	// by mem.TierID — precomputed at construction so the access path reads
+	// one slice element instead of chasing Tier→Spec per miss. fastReadLat
+	// caches the top tier's read latency for the EmulatedFault fill path.
+	tierReadLat  []int64
+	tierWriteLat []int64
+	fastReadLat  int64
+	// maxAccessLat is a lazily computed conservative upper bound on one
+	// access's modeled latency (see MaxOpAdvanceNs).
+	maxAccessLat int64
+	// batchTierAcc is AccessBatch's scratch per-tier counter block.
+	batchTierAcc []uint64
+
 	accesses     stats.Counter
 	slowAccesses stats.Counter
 	tierAccesses []stats.Counter // indexed by mem.TierID
@@ -179,10 +192,16 @@ type Machine struct {
 	// application's critical path.
 	daemonNs int64
 
-	// pageCounts, when enabled, records ground-truth memory accesses
-	// (LLC misses) per 2MB virtual page — Figure 2's y-axis, which no
-	// real x86 can observe but a simulator can.
-	pageCounts map[addr.Virt]uint64
+	// Ground-truth per-2MB-page access (LLC miss) counting — Figure 2's
+	// y-axis, which no real x86 can observe but a simulator can. Counts
+	// live in a dense slice indexed by 2MB region number above pcBase
+	// (regions come from a 2MB-aligned bump allocator, so the space is
+	// contiguous); pcLow catches the stray below-base address so the
+	// map-based semantics are preserved exactly.
+	pcEnabled bool
+	pcBase    addr.Virt
+	pcCounts  []uint64
+	pcLow     map[addr.Virt]uint64
 
 	// missHook, when set, observes every LLC miss and returns extra
 	// latency to charge the access — the attachment point for the §6.1
@@ -238,6 +257,15 @@ func New(cfg Config) (*Machine, error) {
 		latHist:      stats.NewHistogram(),
 		tierAccesses: make([]stats.Counter, sys.NumTiers()),
 	}
+	m.tierReadLat = make([]int64, sys.NumTiers())
+	m.tierWriteLat = make([]int64, sys.NumTiers())
+	m.batchTierAcc = make([]uint64, sys.NumTiers())
+	for t := 0; t < sys.NumTiers(); t++ {
+		spec := sys.Tier(mem.TierID(t)).Spec()
+		m.tierReadLat[t] = spec.ReadLatency
+		m.tierWriteLat[t] = spec.WriteLatency
+	}
+	m.fastReadLat = m.tierReadLat[mem.Fast]
 	m.trap = badgertrap.New(m.pt, m.tl, cfg.FaultLatencyNs)
 	m.reg = fault.NewRegistry()
 	m.reg.Register(fault.Poison, m.trap)
@@ -489,8 +517,8 @@ func (m *Machine) Access(v addr.Virt, write bool) (int64, error) {
 	if m.llc.Access(pa) {
 		lat += m.cfg.LLCHitNs
 	} else {
-		if m.pageCounts != nil {
-			m.pageCounts[v.Base2M()]++
+		if m.pcEnabled {
+			m.countPage(v)
 		}
 		if m.missHook != nil {
 			lat += m.missHook(v, write)
@@ -500,11 +528,11 @@ func (m *Machine) Access(v addr.Virt, write bool) (int64, error) {
 			// Paper methodology: data physically in DRAM; the poison
 			// fault above supplied the emulated slow latency. Charge
 			// DRAM device time for the actual fill.
-			lat += m.sys.Tier(mem.Fast).Spec().ReadLatency
+			lat += m.fastReadLat
 		case write:
-			lat += m.sys.Tier(tier).Spec().WriteLatency
+			lat += m.tierWriteLat[tier]
 		default:
-			lat += m.sys.Tier(tier).Spec().ReadLatency
+			lat += m.tierReadLat[tier]
 		}
 	}
 
@@ -512,6 +540,154 @@ func (m *Machine) Access(v addr.Virt, write bool) (int64, error) {
 	m.latHist.Observe(uint64(lat))
 	m.clock += lat / int64(m.cfg.Threads)
 	return lat, nil
+}
+
+// Req is one memory access request, the element type of AccessBatch and
+// BatchApp.NextBatch.
+type Req struct {
+	V     addr.Virt
+	Write bool
+}
+
+// BatchSafe reports whether AccessBatch currently follows the exact same
+// code path as per-op Access calls. A miss hook is the one per-access
+// callback that could observe the difference, so it disables batching.
+func (m *Machine) BatchSafe() bool { return m.missHook == nil }
+
+// MaxOpAdvanceNs returns a conservative upper bound on how far one access
+// followed by computeNs of application compute can advance the virtual
+// clock. The runner sizes batches so that (n-1) ops at this bound cannot
+// reach the next tick/window boundary, which makes batched execution
+// boundary-exact (see DESIGN.md "Hot path"). Overestimating only shrinks
+// batches; it never affects results.
+func (m *Machine) MaxOpAdvanceNs(computeNs int64) int64 {
+	if m.maxAccessLat == 0 {
+		walkMax := m.wm.Latency(m.guest.Nested(), 4, m.guest.HostWalkDepth())
+		devMax := int64(0)
+		for t := range m.tierReadLat {
+			if m.tierReadLat[t] > devMax {
+				devMax = m.tierReadLat[t]
+			}
+			if m.tierWriteLat[t] > devMax {
+				devMax = m.tierWriteLat[t]
+			}
+		}
+		m.maxAccessLat = m.cfg.TLBHitNs + walkMax + m.cfg.FaultLatencyNs +
+			m.guest.FaultOverheadNs() + m.cfg.LLCHitNs + devMax
+	}
+	threads := int64(m.cfg.Threads)
+	return m.maxAccessLat/threads + computeNs/threads + 1
+}
+
+// AccessBatch simulates len(reqs) consecutive accesses, equivalent to
+// calling Access for each request followed by AdvanceClock(computeNs) when
+// computeNs > 0 — same latencies, same clock trajectory, same fault and
+// telemetry behavior — but with the per-op bookkeeping amortized: the VPID
+// is fetched once, tier and access counters accumulate locally and flush
+// once per batch (Metrics is only read at boundaries, which the runner
+// keeps outside batches). lats[i] receives each op's modeled latency;
+// clocks, when non-nil, receives the virtual time after each op.
+func (m *Machine) AccessBatch(reqs []Req, computeNs int64, lats, clocks []int64) (err error) {
+	threads := int64(m.cfg.Threads)
+	vpid := m.guest.VPID()
+	var nAcc, nSlow uint64
+	tierAcc := m.batchTierAcc
+	for i := range tierAcc {
+		tierAcc[i] = 0
+	}
+	defer func() {
+		m.accesses.Add(nAcc)
+		m.slowAccesses.Add(nSlow)
+		for t, n := range tierAcc {
+			if n > 0 {
+				m.tierAccesses[t].Add(n)
+			}
+		}
+	}()
+
+	for i := range reqs {
+		v, write := reqs[i].V, reqs[i].Write
+		var lat int64
+		var frame addr.Phys
+		var lvl pagetable.Level
+
+		if res, ok := m.tl.Lookup(v, vpid); ok {
+			lat += m.cfg.TLBHitNs
+			frame, lvl = res.Frame, res.Level
+		} else {
+			wr := m.pt.Walk(v, write)
+			if !wr.Found {
+				return fmt.Errorf("sim: access to unmapped %s", v)
+			}
+			lat += m.wm.Latency(m.guest.Nested(), wr.Depth, m.guest.HostWalkDepth())
+			if wr.Poisoned {
+				fl, ferr := m.reg.Dispatch(fault.Fault{
+					Kind: fault.Poison, Virt: v, Write: write,
+					VPID: vpid, TimeNs: m.clock,
+				})
+				if ferr != nil {
+					return ferr
+				}
+				lat += fl + m.guest.FaultOverheadNs()
+				if m.rec != nil {
+					m.rec.Event(telemetry.Event{
+						Kind: telemetry.KindFaultInjected, TimeNs: m.clock,
+						Page: v.Base4K(), Count: 1,
+					})
+				}
+				res, ok := m.tl.Lookup(v, vpid)
+				if !ok {
+					return fmt.Errorf("sim: fault handler left %s untranslated", v)
+				}
+				frame, lvl = res.Frame, res.Level
+			} else {
+				frame, lvl = wr.Entry.Frame, wr.Level
+				m.tl.Insert(v, lvl, frame, vpid)
+			}
+		}
+
+		var pa addr.Phys
+		if lvl == pagetable.Level2M {
+			pa = frame + addr.Phys(v.Offset2M())
+		} else {
+			pa = frame + addr.Phys(v.Offset4K())
+		}
+		tier := m.sys.TierOf(pa)
+		tierAcc[tier]++
+		if tier != mem.Fast {
+			nSlow++
+		}
+
+		if m.llc.Access(pa) {
+			lat += m.cfg.LLCHitNs
+		} else {
+			if m.pcEnabled {
+				m.countPage(v)
+			}
+			switch {
+			case m.cfg.Mode == EmulatedFault && tier != mem.Fast:
+				lat += m.fastReadLat
+			case write:
+				lat += m.tierWriteLat[tier]
+			default:
+				lat += m.tierReadLat[tier]
+			}
+		}
+
+		nAcc++
+		m.latHist.Observe(uint64(lat))
+		// Two separate floored divisions, exactly as Access followed by
+		// AdvanceClock performs them.
+		m.clock += lat / threads
+		if computeNs > 0 {
+			m.clock += computeNs / threads
+		}
+		lats[i] = lat
+		if clocks != nil {
+			clocks[i] = m.clock
+		}
+	}
+	return nil
 }
 
 // SetMissHook installs an observer invoked on every LLC miss; its return
@@ -525,29 +701,59 @@ func (m *Machine) SetMissHook(h func(v addr.Virt, write bool) int64) {
 // miss) counting. This is simulator-only instrumentation: the paper's
 // motivation is precisely that real x86 hardware cannot observe this.
 func (m *Machine) EnablePageCounts() {
-	if m.pageCounts == nil {
-		m.pageCounts = make(map[addr.Virt]uint64)
+	if !m.pcEnabled {
+		m.pcEnabled = true
+		m.pcBase = m.cfg.VirtBase
 	}
 }
 
+// countPage records one LLC miss against the 2MB page containing v. Regions
+// are bump-allocated from pcBase, so the common case is one bounds check and
+// a slice increment; addresses below the base (never produced by
+// AllocRegion) fall back to a map to keep semantics identical.
+func (m *Machine) countPage(v addr.Virt) {
+	if v >= m.pcBase {
+		idx := uint64(v-m.pcBase) >> addr.PageShift2M
+		if idx >= uint64(len(m.pcCounts)) {
+			grown := make([]uint64, idx+1, (idx+1)*2)
+			copy(grown, m.pcCounts)
+			m.pcCounts = grown
+		}
+		m.pcCounts[idx]++
+		return
+	}
+	if m.pcLow == nil {
+		m.pcLow = make(map[addr.Virt]uint64)
+	}
+	m.pcLow[v.Base2M()]++
+}
+
 // PageCounts returns a copy of the ground-truth per-2MB-page access counts
-// since EnablePageCounts (nil if disabled).
+// since EnablePageCounts (nil if disabled). Only pages with at least one
+// recorded miss appear, matching the map-increment implementation this
+// reconstructs.
 func (m *Machine) PageCounts() map[addr.Virt]uint64 {
-	if m.pageCounts == nil {
+	if !m.pcEnabled {
 		return nil
 	}
-	out := make(map[addr.Virt]uint64, len(m.pageCounts))
-	for k, v := range m.pageCounts {
-		out[k] = v
+	out := make(map[addr.Virt]uint64, len(m.pcCounts)+len(m.pcLow))
+	for i, c := range m.pcCounts {
+		if c != 0 {
+			out[m.pcBase+addr.Virt(uint64(i)<<addr.PageShift2M)] = c
+		}
+	}
+	for k, c := range m.pcLow {
+		out[k] = c
 	}
 	return out
 }
 
 // ResetPageCounts clears the ground-truth counters (keeps counting enabled).
 func (m *Machine) ResetPageCounts() {
-	if m.pageCounts != nil {
-		m.pageCounts = make(map[addr.Virt]uint64)
+	for i := range m.pcCounts {
+		m.pcCounts[i] = 0
 	}
+	m.pcLow = nil
 }
 
 // Metrics returns a snapshot of the machine counters. The histogram is the

@@ -27,6 +27,16 @@ type App interface {
 	Tick(m *Machine, nowNs int64) error
 }
 
+// BatchApp is the optional fast path an App can provide: NextBatch must
+// fill reqs with exactly the accesses len(reqs) successive Next calls would
+// produce (same addresses, same write bits, same RNG consumption) and
+// return how many it generated — len(reqs) unless the app has a reason to
+// stop short. The runner falls back to per-op Next when the count is 0.
+type BatchApp interface {
+	App
+	NextBatch(reqs []Req) int
+}
+
 // TierBytes is one tier's share of a footprint, by mapping grain.
 type TierBytes struct {
 	Bytes2M uint64
@@ -194,6 +204,11 @@ type RunConfig struct {
 	// request latencies, enabling tail-latency comparisons (the paper
 	// reports 95th/99th percentile read/write latencies). 0 disables.
 	OpsPerRequest int
+	// DisableBatch forces the per-op access path even when the app
+	// implements BatchApp. Batched and serial execution are bit-identical
+	// by construction; this switch exists so the differential tests can
+	// prove it.
+	DisableBatch bool
 }
 
 // RunResult captures everything the experiment harness needs.
@@ -297,31 +312,111 @@ func Run(m *Machine, app App, pol Policy, rc RunConfig) (*RunResult, error) {
 	var reqLat int64
 	var reqOps int
 
+	// Batched fast path: when the app can pregenerate requests and no miss
+	// hook observes individual accesses, ops run through AccessBatch in
+	// blocks sized so that no tick, window, warmup or end boundary can fire
+	// before the batch's last op — the block is then exactly equivalent to
+	// that many serial iterations (see DESIGN.md "Hot path").
+	const maxBatch = 2048
+	computeNs := app.ComputeNs()
+	batcher, canBatch := app.(BatchApp)
+	canBatch = canBatch && !rc.DisableBatch && m.BatchSafe()
+	var reqs []Req
+	var lats, clks []int64
+	var maxAdv int64
+	if canBatch {
+		reqs = make([]Req, maxBatch)
+		lats = make([]int64, maxBatch)
+		if rc.OpsPerRequest > 0 {
+			clks = make([]int64, maxBatch)
+		}
+		maxAdv = m.MaxOpAdvanceNs(computeNs)
+	}
+
 	for m.Clock() < end {
 		if rc.MaxOps > 0 && res.Ops >= rc.MaxOps {
 			break
 		}
-		v, write := app.Next()
-		lat, err := m.Access(v, write)
-		if err != nil {
-			return nil, fmt.Errorf("sim: %s op %d: %w", app.Name(), res.Ops, err)
-		}
-		if c := app.ComputeNs(); c > 0 {
-			m.AdvanceClock(c)
-		}
-		if rc.OpsPerRequest > 0 {
-			reqLat += lat + app.ComputeNs()
-			reqOps++
-			if reqOps >= rc.OpsPerRequest {
-				if m.Clock() >= warmupClock {
-					res.RequestLatency.Observe(uint64(reqLat))
+		batched := false
+		if canBatch {
+			now := m.Clock()
+			// Nearest boundary the batch must not cross before its last op.
+			limit := nextTick
+			if nextWindow < limit {
+				limit = nextWindow
+			}
+			if end < limit {
+				limit = end
+			}
+			inWarmup := rc.WarmupNs > 0 && now <= warmupClock
+			if inWarmup && warmupClock+1 < limit {
+				limit = warmupClock + 1
+			}
+			// Largest n with (n-1)*maxAdv < limit-now: ops 1..n-1 finish
+			// strictly before the boundary, only op n may cross it.
+			n := (limit - now - 1) / maxAdv
+			if n >= maxBatch {
+				n = maxBatch - 1
+			}
+			n++
+			if rc.MaxOps > 0 && uint64(n) > rc.MaxOps-res.Ops {
+				n = int64(rc.MaxOps - res.Ops)
+			}
+			if n >= 2 {
+				got := batcher.NextBatch(reqs[:n])
+				if got > 0 {
+					if err := m.AccessBatch(reqs[:got], computeNs, lats[:got], clks); err != nil {
+						return nil, fmt.Errorf("sim: %s op %d: %w", app.Name(), res.Ops, err)
+					}
+					if rc.OpsPerRequest > 0 {
+						for i := 0; i < got; i++ {
+							reqLat += lats[i] + computeNs
+							reqOps++
+							if reqOps >= rc.OpsPerRequest {
+								if clks[i] >= warmupClock {
+									res.RequestLatency.Observe(uint64(reqLat))
+								}
+								reqLat, reqOps = 0, 0
+							}
+						}
+					}
+					res.Ops += uint64(got)
+					if inWarmup {
+						// Ops 1..got-1 ended at or before warmupClock by
+						// construction; only the last can have crossed.
+						if m.Clock() <= warmupClock {
+							warmupOps = res.Ops
+						} else {
+							warmupOps = res.Ops - 1
+						}
+					}
+					batched = true
 				}
-				reqLat, reqOps = 0, 0
 			}
 		}
-		res.Ops++
-		if rc.WarmupNs > 0 && m.Clock() <= warmupClock {
-			warmupOps = res.Ops
+		if !batched {
+			v, write := app.Next()
+			lat, err := m.Access(v, write)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s op %d: %w", app.Name(), res.Ops, err)
+			}
+			if computeNs > 0 {
+				m.AdvanceClock(computeNs)
+			}
+			if rc.OpsPerRequest > 0 {
+				reqLat += lat + computeNs
+				reqOps++
+				if reqOps >= rc.OpsPerRequest {
+					if m.Clock() >= warmupClock {
+						res.RequestLatency.Observe(uint64(reqLat))
+					}
+					reqLat, reqOps = 0, 0
+				}
+			}
+			res.Ops++
+			if rc.WarmupNs > 0 && m.Clock() <= warmupClock {
+				warmupOps = res.Ops
+			}
 		}
 
 		now := m.Clock()

@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -115,18 +116,10 @@ func bucketOf(v uint64) (int, int) {
 	if v < subBuckets {
 		return 0, int(v)
 	}
-	b := 63 - leadingZeros(v)
+	b := 63 - bits.LeadingZeros64(v)
 	// Linear position of the top subBuckets-worth of bits below the MSB.
 	s := int((v >> (uint(b) - 4)) & (subBuckets - 1))
 	return b, s
-}
-
-func leadingZeros(v uint64) int {
-	n := 0
-	for mask := uint64(1) << 63; mask != 0 && v&mask == 0; mask >>= 1 {
-		n++
-	}
-	return n
 }
 
 func bucketLow(b, s int) uint64 {

@@ -37,12 +37,15 @@ type entry struct {
 	prev, next *entry // LRU list, most-recent at head
 }
 
-// lru is a fixed-capacity LRU map of translations.
+// lru is a fixed-capacity LRU map of translations. Evicted and removed
+// entries park on a freelist (chained through next) so a full TLB churns
+// translations without allocating.
 type lru struct {
 	cap   int
 	items map[key]*entry
 	head  *entry
 	tail  *entry
+	free  *entry
 }
 
 func newLRU(capacity int) *lru {
@@ -66,7 +69,13 @@ func (l *lru) put(k key, frame addr.Phys) {
 	if len(l.items) >= l.cap {
 		l.evict()
 	}
-	e := &entry{key: k, frame: frame}
+	e := l.free
+	if e != nil {
+		l.free = e.next
+		*e = entry{key: k, frame: frame}
+	} else {
+		e = &entry{key: k, frame: frame}
+	}
 	l.items[k] = e
 	l.pushFront(e)
 }
@@ -78,6 +87,7 @@ func (l *lru) remove(k key) bool {
 	}
 	l.unlink(e)
 	delete(l.items, k)
+	l.release(e)
 	return true
 }
 
@@ -88,6 +98,12 @@ func (l *lru) evict() {
 	victim := l.tail
 	l.unlink(victim)
 	delete(l.items, victim.key)
+	l.release(victim)
+}
+
+func (l *lru) release(e *entry) {
+	e.next = l.free
+	l.free = e
 }
 
 func (l *lru) pushFront(e *entry) {

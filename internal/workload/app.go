@@ -246,6 +246,26 @@ func (a *App) Next() (addr.Virt, bool) {
 	return v, a.r.Bool(seg.spec.WriteFrac)
 }
 
+// NextBatch implements sim.BatchApp: it generates len(reqs) accesses with
+// the identical RNG call sequence Next uses (segment draw, picker, write
+// draw per op), so batched and per-op runs consume the same random stream.
+func (a *App) NextBatch(reqs []sim.Req) int {
+	r := a.r
+	cum := a.cum
+	total := cum[len(cum)-1]
+	for i := range reqs {
+		x := r.Float64() * total
+		idx := 0
+		for idx < len(cum)-1 && x >= cum[idx] {
+			idx++
+		}
+		seg := a.segs[idx]
+		v := seg.spec.Picker.Pick(r, seg.regions)
+		reqs[i] = sim.Req{V: v, Write: r.Bool(seg.spec.WriteFrac)}
+	}
+	return len(reqs)
+}
+
 // pickerTicker is implemented by pickers with time-driven behaviour
 // (hot-set rotation).
 type pickerTicker interface {

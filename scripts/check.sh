@@ -18,6 +18,12 @@ go vet ./...
 if [ "${SHORT:-0}" = "1" ]; then
 	echo "== go test -short -race ./..."
 	go test -short -race -timeout 10m ./...
+	echo "== hot-path benchmarks (smoke)"
+	# One quick pass over the hot-path micro-benchmarks: catches bit-rot in
+	# the flat leaf index and batched access engine without the full
+	# results/bench-hotpath-*.txt measurement runs.
+	go test -run=NONE -bench 'BenchmarkPT' -benchtime=100x ./internal/pagetable
+	go test -run=NONE -bench 'BenchmarkAccess' -benchtime=100x .
 else
 	echo "== go test -race ./..."
 	# The harness package runs full scaled experiments; under the race
