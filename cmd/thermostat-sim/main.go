@@ -23,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"thermostat/internal/chaos"
 	"thermostat/internal/core"
 	"thermostat/internal/harness"
 	"thermostat/internal/mem"
@@ -49,6 +50,9 @@ func main() {
 		metrics   = flag.String("metrics", "", "write per-epoch metric snapshots of the policy run as JSONL")
 		epochs    = flag.Bool("epochs", false, "print the per-epoch metric table for the policy run")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for the duration of the run")
+		chaosRate = flag.Float64("chaos-rate", 0, "per-site fault injection probability for the policy run, 0..1 (0 disables; needs a migrating policy)")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for the fault injector's dedicated RNG stream")
+		chaosPerm = flag.Float64("chaos-permanent", 0, "fraction of injected migration faults that are permanent, 0..1")
 	)
 	flag.Parse()
 
@@ -61,20 +65,23 @@ func main() {
 		return
 	}
 
-	spec, ok := workload.ByName(*appFlag)
-	if !ok {
-		fatal(fmt.Errorf("unknown application %q (try -list)", *appFlag))
+	if err := validate(options{
+		App: *appFlag, Policy: *polFlag, Scale: *scaleName,
+		Slowdown: *slowdown, IdleSecs: *idleSecs, Duration: *duration,
+		Tiers: *tiersFlag, ChaosRate: *chaosRate, ChaosPerm: *chaosPerm,
+	}); err != nil {
+		fatal(err)
 	}
+
+	spec, _ := workload.ByName(*appFlag)
 	var sc harness.Scale
 	switch *scaleName {
 	case "tiny":
 		sc = harness.Tiny()
 	case "bench":
 		sc = harness.Bench()
-	case "repro":
-		sc = harness.Repro()
 	default:
-		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+		sc = harness.Repro()
 	}
 	sc.Seed = *seed
 	if *duration > 0 {
@@ -89,9 +96,6 @@ func main() {
 	}
 
 	if *tiersFlag != "" {
-		if *polFlag != "thermostat" {
-			fatal(fmt.Errorf("-tiers only runs under -policy thermostat"))
-		}
 		runNTier(spec, sc, *tiersFlag, *slowdown)
 		return
 	}
@@ -106,6 +110,13 @@ func main() {
 	attach := func(cfg *sim.Config) {
 		if col != nil {
 			cfg.Recorder = col
+		}
+		// Chaos applies only to the policy run; the all-DRAM baseline arm
+		// below never migrates and stays uninjected.
+		if *chaosRate > 0 {
+			cfg.Chaos = chaos.Config{
+				Seed: *chaosSeed, Rate: *chaosRate, PermanentFraction: *chaosPerm,
+			}
 		}
 	}
 
@@ -185,6 +196,14 @@ func main() {
 		summary.AddF("pages_sampled", st.Sampled)
 		summary.AddF("demotions", st.Demotions)
 		summary.AddF("promotions_corrections", st.Promotions)
+	}
+	if *chaosRate > 0 {
+		f := outcome.Faults
+		summary.AddF("chaos_faults_injected", f.Injected)
+		summary.AddF("chaos_faults_permanent", f.Permanent)
+		summary.AddF("migration_retries", f.Retried)
+		summary.AddF("migration_rollbacks", f.RolledBack)
+		summary.AddF("pages_quarantined", f.Quarantined)
 	}
 	fmt.Println(summary.String())
 

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// valid returns an option set that passes validation; each case mutates one
+// field off it.
+func valid() options {
+	return options{
+		App: "redis", Policy: "thermostat", Scale: "tiny",
+		Slowdown: 3, IdleSecs: 10,
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := validate(valid()); err != nil {
+		t.Fatalf("default-shaped options rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*options)
+		want   string // substring of the one-line usage error
+	}{
+		{"unknown app", func(o *options) { o.App = "nope" }, "unknown application"},
+		{"unknown policy", func(o *options) { o.Policy = "nope" }, "unknown policy"},
+		{"unknown scale", func(o *options) { o.Scale = "nope" }, "unknown scale"},
+		{"negative duration", func(o *options) { o.Duration = -1 }, "negative"},
+		{"nonpositive slowdown", func(o *options) { o.Slowdown = 0 }, "-slowdown"},
+		{"nonpositive idle window", func(o *options) {
+			o.Policy = "idle-demote"
+			o.IdleSecs = -2
+		}, "-idle-window"},
+		{"negative chaos rate", func(o *options) { o.ChaosRate = -0.1 }, "-chaos-rate"},
+		{"chaos rate above one", func(o *options) { o.ChaosRate = 1.5 }, "-chaos-rate"},
+		{"negative permanent fraction", func(o *options) { o.ChaosPerm = -1 }, "-chaos-permanent"},
+		{"permanent fraction above one", func(o *options) { o.ChaosPerm = 2 }, "-chaos-permanent"},
+		{"chaos without migrating policy", func(o *options) {
+			o.Policy = "all-dram"
+			o.ChaosRate = 0.1
+		}, "migrating policy"},
+		{"tiers under non-thermostat policy", func(o *options) {
+			o.Policy = "idle-demote"
+			o.Tiers = "dram,cxl"
+		}, "-tiers only runs"},
+		{"tiers with chaos", func(o *options) {
+			o.Tiers = "dram,cxl"
+			o.ChaosRate = 0.1
+		}, "not supported with -tiers"},
+		{"unknown tier preset", func(o *options) { o.Tiers = "dram,quantum" }, "unknown device preset"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := valid()
+			tc.mutate(&o)
+			err := validate(o)
+			if err == nil {
+				t.Fatalf("options %+v accepted", o)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("usage error spans lines: %q", err)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsChaosAndTierCombos(t *testing.T) {
+	o := valid()
+	o.ChaosRate, o.ChaosPerm = 0.5, 1
+	if err := validate(o); err != nil {
+		t.Fatalf("chaos under thermostat rejected: %v", err)
+	}
+	o = valid()
+	o.Policy = "idle-demote"
+	o.ChaosRate = 0.2
+	if err := validate(o); err != nil {
+		t.Fatalf("chaos under idle-demote rejected: %v", err)
+	}
+	o = valid()
+	o.Tiers = "dram, cxl ,nvm"
+	if err := validate(o); err != nil {
+		t.Fatalf("whitespace-padded presets rejected: %v", err)
+	}
+}

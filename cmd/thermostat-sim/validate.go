@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"thermostat/internal/mem"
+	"thermostat/internal/workload"
+)
+
+// options captures every flag value that validation inspects, so the
+// validator is a pure function the tests drive directly.
+type options struct {
+	App       string
+	Policy    string
+	Scale     string
+	Slowdown  float64
+	IdleSecs  float64
+	Duration  float64
+	Tiers     string
+	ChaosRate float64
+	ChaosPerm float64
+}
+
+// validate rejects inconsistent flag combinations before any simulation
+// state is built, with a one-line usage error per defect — conditions that
+// previously surfaced as mid-run fatals (unknown presets, -tiers under the
+// wrong policy) fail here instead.
+func validate(o options) error {
+	if _, ok := workload.ByName(o.App); !ok {
+		return fmt.Errorf("unknown application %q (try -list)", o.App)
+	}
+	switch o.Policy {
+	case "thermostat", "idle-demote", "all-dram":
+	default:
+		return fmt.Errorf("unknown policy %q (thermostat, idle-demote, or all-dram)", o.Policy)
+	}
+	switch o.Scale {
+	case "tiny", "bench", "repro":
+	default:
+		return fmt.Errorf("unknown scale %q (tiny, bench, or repro)", o.Scale)
+	}
+	if o.Duration < 0 {
+		return fmt.Errorf("-duration %g is negative", o.Duration)
+	}
+	if o.Policy == "thermostat" && o.Slowdown <= 0 {
+		return fmt.Errorf("-slowdown %g must be positive for -policy thermostat", o.Slowdown)
+	}
+	if o.Policy == "idle-demote" && o.IdleSecs <= 0 {
+		return fmt.Errorf("-idle-window %g must be positive for -policy idle-demote", o.IdleSecs)
+	}
+	if o.ChaosRate < 0 || o.ChaosRate > 1 {
+		return fmt.Errorf("-chaos-rate %g outside [0, 1]", o.ChaosRate)
+	}
+	if o.ChaosPerm < 0 || o.ChaosPerm > 1 {
+		return fmt.Errorf("-chaos-permanent %g outside [0, 1]", o.ChaosPerm)
+	}
+	if o.ChaosRate > 0 && o.Policy == "all-dram" {
+		return fmt.Errorf("-chaos-rate needs a migrating policy (thermostat or idle-demote); all-dram never migrates")
+	}
+	if o.Tiers != "" {
+		if o.Policy != "thermostat" {
+			return fmt.Errorf("-tiers only runs under -policy thermostat")
+		}
+		if o.ChaosRate > 0 {
+			return fmt.Errorf("-chaos-rate is not supported with -tiers")
+		}
+		for _, name := range strings.Split(o.Tiers, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := mem.Preset(name, 0); !ok {
+				return fmt.Errorf("unknown device preset %q (presets: %s)",
+					name, strings.Join(mem.PresetNames(), ", "))
+			}
+		}
+	}
+	return nil
+}

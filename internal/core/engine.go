@@ -7,6 +7,7 @@ import (
 
 	"thermostat/internal/addr"
 	"thermostat/internal/cgroup"
+	"thermostat/internal/chaos"
 	"thermostat/internal/kstaled"
 	"thermostat/internal/mem"
 	"thermostat/internal/pagetable"
@@ -49,8 +50,16 @@ type Stats struct {
 	// hierarchy after staying completely idle (always 0 with two tiers).
 	Sinks uint64
 	// DemoteFailures counts demotions abandoned because the destination
-	// tier was full.
+	// tier was full or the migration kept failing.
 	DemoteFailures uint64
+	// PromoteFailures counts promotions abandoned the same way.
+	PromoteFailures uint64
+	// Retries counts migration attempts re-run after a transient failure
+	// (destination pressure or an injected chaos fault).
+	Retries uint64
+	// Quarantined counts pages benched for quarantinePeriods sampling
+	// periods after a permanent or repeatedly-failing migration.
+	Quarantined uint64
 }
 
 // Engine is the Thermostat policy. It implements sim.Policy.
@@ -92,30 +101,67 @@ type Engine struct {
 	noPrefilter  bool
 	noCorrection bool
 
-	periods        stats.Counter
-	sampled        stats.Counter
-	demotions      stats.Counter
-	promotions     stats.Counter
-	sinks          stats.Counter
-	demoteFailures stats.Counter
+	// Migration retry policy: failed moves are retried up to maxAttempts
+	// with exponential backoff (charged as daemon time in virtual ns);
+	// pages that fail permanently, or keep failing, are quarantined —
+	// skipped for quarantinePeriods sampling periods — instead of killing
+	// the run.
+	maxAttempts       int
+	backoffBaseNs     int64
+	quarantinePeriods uint64
+	// quarUntil maps a quarantined page to the period count at which it
+	// becomes eligible again; entries expire lazily.
+	quarUntil map[addr.Virt]uint64
+
+	periods         stats.Counter
+	sampled         stats.Counter
+	demotions       stats.Counter
+	promotions      stats.Counter
+	sinks           stats.Counter
+	demoteFailures  stats.Counter
+	promoteFailures stats.Counter
+	retries         stats.Counter
+	quarantined     stats.Counter
 }
 
 // sinkAfterIdleScans is how many consecutive zero-access correction passes
 // sink a cold page one tier deeper in an N-tier hierarchy.
 const sinkAfterIdleScans = 3
 
+// Default migration retry policy. Backoff doubles per attempt: 50µs, 100µs.
+const (
+	defaultMaxAttempts       = 3
+	defaultBackoffBaseNs     = 50_000
+	defaultQuarantinePeriods = 5
+)
+
 // NewEngine builds a Thermostat engine drawing parameters from group and
 // randomness from seed.
 func NewEngine(group *cgroup.Group, seed uint64) *Engine {
 	return &Engine{
-		group:          group,
-		r:              rng.New(seed),
-		splitCohort:    make(map[addr.Virt]*sample),
-		poisonedCohort: make(map[addr.Virt]*sample),
-		cold:           make(map[addr.Virt]bool),
-		idleStreak:     make(map[addr.Virt]int),
-		seen:           make(map[addr.Virt]uint64),
+		group:             group,
+		r:                 rng.New(seed),
+		splitCohort:       make(map[addr.Virt]*sample),
+		poisonedCohort:    make(map[addr.Virt]*sample),
+		cold:              make(map[addr.Virt]bool),
+		idleStreak:        make(map[addr.Virt]int),
+		seen:              make(map[addr.Virt]uint64),
+		maxAttempts:       defaultMaxAttempts,
+		backoffBaseNs:     defaultBackoffBaseNs,
+		quarantinePeriods: defaultQuarantinePeriods,
+		quarUntil:         make(map[addr.Virt]uint64),
 	}
+}
+
+// SetRetryPolicy overrides the migration retry/quarantine parameters (for
+// tests and experiments). maxAttempts < 1 is clamped to 1.
+func (e *Engine) SetRetryPolicy(maxAttempts int, backoffBaseNs int64, quarantinePeriods uint64) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	e.maxAttempts = maxAttempts
+	e.backoffBaseNs = backoffBaseNs
+	e.quarantinePeriods = quarantinePeriods
 }
 
 // SetPrefilter enables or disables the §3.2 two-step refinement: with the
@@ -189,14 +235,33 @@ func (e *Engine) Attach(m *sim.Machine) error {
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Periods:        e.periods.Value(),
-		Sampled:        e.sampled.Value(),
-		Demotions:      e.demotions.Value(),
-		Promotions:     e.promotions.Value(),
-		Sinks:          e.sinks.Value(),
-		DemoteFailures: e.demoteFailures.Value(),
+		Periods:         e.periods.Value(),
+		Sampled:         e.sampled.Value(),
+		Demotions:       e.demotions.Value(),
+		Promotions:      e.promotions.Value(),
+		Sinks:           e.sinks.Value(),
+		DemoteFailures:  e.demoteFailures.Value(),
+		PromoteFailures: e.promoteFailures.Value(),
+		Retries:         e.retries.Value(),
+		Quarantined:     e.quarantined.Value(),
 	}
 }
+
+// FaultReport implements sim.FaultReporter: the machine's injector and
+// rollback counts plus this engine's retry/quarantine handling.
+func (e *Engine) FaultReport() chaos.Report {
+	var r chaos.Report
+	if e.m != nil {
+		r = e.m.FaultReport()
+	}
+	r.Retried = e.retries.Value()
+	r.Quarantined = e.quarantined.Value()
+	return r
+}
+
+// QuarantinedPages returns the number of pages currently serving a
+// quarantine sentence (including lazily-unexpired entries).
+func (e *Engine) QuarantinedPages() int { return len(e.quarUntil) }
 
 // ColdPages returns the number of huge pages currently placed in slow
 // memory by the engine.
@@ -262,9 +327,15 @@ func (e *Engine) correct(intervalSec float64) error {
 		if e.inflight(base) {
 			continue // being re-sampled; counted at classify
 		}
+		d := e.delta(base)
+		if e.isQuarantined(base) {
+			// The delta is still consumed, so when the sentence expires
+			// the measured rate covers one interval, not the whole bench.
+			continue
+		}
 		measured = append(measured, Measured{
 			Base: base,
-			Rate: float64(e.delta(base)) / intervalSec,
+			Rate: float64(d) / intervalSec,
 		})
 	}
 	// Canonical order so equal-rate ties break deterministically (map
@@ -319,12 +390,16 @@ func (e *Engine) sink(measured []Measured) error {
 		if tier >= e.m.Memory().Bottom() {
 			continue // nowhere deeper to go
 		}
-		if _, err := e.m.Demote(c.Base); err != nil {
-			if errors.Is(err, mem.ErrOutOfMemory) {
-				e.demoteFailures.Inc()
-				continue
-			}
+		handled, err := e.attemptMove(c.Base, func() error {
+			_, err := e.m.Demote(c.Base)
 			return err
+		})
+		if err != nil {
+			return err
+		}
+		if handled {
+			e.demoteFailures.Inc()
+			continue
 		}
 		e.idleStreak[c.Base] = 0
 		e.snapshot(c.Base)
@@ -336,10 +411,20 @@ func (e *Engine) sink(measured []Measured) error {
 // promote moves a cold huge page one tier up the hierarchy. A page
 // reaching the top (fast) tier stops being monitored; in deeper
 // hierarchies a page promoted into an intermediate tier stays in the cold
-// set and keeps its poison-based monitoring.
+// set and keeps its poison-based monitoring. Failures take the same
+// retry/quarantine path as demotions — a full fast tier degrades the
+// correction, it no longer kills the run.
 func (e *Engine) promote(base addr.Virt) error {
-	if _, err := e.m.Promote(base); err != nil {
+	handled, err := e.attemptMove(base, func() error {
+		_, err := e.m.Promote(base)
 		return err
+	})
+	if err != nil {
+		return err
+	}
+	if handled {
+		e.promoteFailures.Inc()
+		return nil
 	}
 	e.promotions.Inc()
 	if tier, err := e.m.Migrator().TierOfPage(base); err == nil && tier != mem.Fast {
@@ -349,6 +434,66 @@ func (e *Engine) promote(base addr.Virt) error {
 	delete(e.cold, base)
 	delete(e.idleStreak, base)
 	return nil
+}
+
+// quarantine benches base for quarantinePeriods sampling periods: no
+// placement decision (demote, promote, sink) will touch it until the
+// sentence expires.
+func (e *Engine) quarantine(base addr.Virt) {
+	e.quarUntil[base] = e.periods.Value() + e.quarantinePeriods
+	e.quarantined.Inc()
+}
+
+// isQuarantined reports whether base is still benched; expired sentences are
+// dropped lazily.
+func (e *Engine) isQuarantined(base addr.Virt) bool {
+	until, ok := e.quarUntil[base]
+	if !ok {
+		return false
+	}
+	if e.periods.Value() >= until {
+		delete(e.quarUntil, base)
+		return false
+	}
+	return true
+}
+
+// attemptMove runs op — one demote or promote of base — under the retry
+// policy: up to maxAttempts tries, with exponential backoff charged as
+// daemon time (the kthread burning virtual CPU off the critical path, like
+// the kernel's migrate_pages retry loop). Retryable failures are simulated
+// destination pressure (mem.ErrOutOfMemory) and injected transient faults;
+// anything else is a programming error and propagates. A permanent fault, or
+// attempts running out, quarantines the page and returns handled=true — the
+// caller records the failure and moves on instead of killing the run.
+func (e *Engine) attemptMove(base addr.Virt, op func() error) (handled bool, err error) {
+	backoff := e.backoffBaseNs
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil {
+			return false, nil
+		}
+		fault, injected := chaos.AsFault(err)
+		if injected {
+			if rec := e.m.Recorder(); rec != nil {
+				rec.Event(telemetry.Event{
+					Kind: telemetry.KindChaosFault, TimeNs: e.m.Clock(),
+					Page: base, Count: uint64(attempt),
+					Site: uint8(fault.Site), Permanent: fault.Permanent,
+				})
+			}
+		}
+		if !injected && !errors.Is(err, mem.ErrOutOfMemory) {
+			return false, err
+		}
+		if (injected && fault.Permanent) || attempt >= e.maxAttempts {
+			e.quarantine(base)
+			return true, nil
+		}
+		e.retries.Inc()
+		e.m.ChargeDaemon(backoff)
+		backoff *= 2
+	}
 }
 
 // inflight reports whether base is in either sampling cohort.
@@ -507,9 +652,19 @@ func (e *Engine) scanClassify(intervalSec float64) error {
 		daemon += collapseCostNs
 	}
 
-	// Demote the coldest of this period's fast-tier samples.
+	// Demote the coldest of this period's fast-tier samples. Quarantined
+	// pages are not placement candidates while their sentence runs.
 	budget := p.SampleFraction * p.TargetSlowAccessRate()
-	coldSet := SelectColdSet(fastEsts, budget)
+	eligible := fastEsts
+	if len(e.quarUntil) > 0 {
+		eligible = make([]Estimate, 0, len(fastEsts))
+		for _, est := range fastEsts {
+			if !e.isQuarantined(est.Base) {
+				eligible = append(eligible, est)
+			}
+		}
+	}
+	coldSet := SelectColdSet(eligible, budget)
 	if rec := e.m.Recorder(); rec != nil && len(fastEsts) > 0 {
 		chosen := make(map[addr.Virt]bool, len(coldSet))
 		for _, base := range coldSet {
@@ -561,13 +716,19 @@ func (e *Engine) restore(s *sample) error {
 
 // demote moves a classified-cold huge page to slow memory; the machine arms
 // PMD-grain monitoring (which doubles as the slow-memory emulation).
+// Failures — destination pressure or injected faults — are retried and then
+// quarantined rather than aborting the run.
 func (e *Engine) demote(base addr.Virt) error {
-	if _, err := e.m.Demote(base); err != nil {
-		if errors.Is(err, mem.ErrOutOfMemory) {
-			e.demoteFailures.Inc()
-			return nil
-		}
+	handled, err := e.attemptMove(base, func() error {
+		_, err := e.m.Demote(base)
 		return err
+	})
+	if err != nil {
+		return err
+	}
+	if handled {
+		e.demoteFailures.Inc()
+		return nil
 	}
 	e.snapshot(base)
 	e.cold[base] = true

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"thermostat/internal/addr"
+	"thermostat/internal/chaos"
 	"thermostat/internal/kstaled"
 	"thermostat/internal/mem"
 	"thermostat/internal/pagetable"
@@ -38,6 +39,7 @@ type IdleDemote struct {
 
 	demotions  stats.Counter
 	promotions stats.Counter
+	failures   stats.Counter
 }
 
 // Name implements sim.Policy.
@@ -99,6 +101,12 @@ func (p *IdleDemote) Tick(m *sim.Machine, now int64) error {
 	})
 	for _, base := range toPromote {
 		if _, err := m.Promote(base); err != nil {
+			// Graceful degradation: a full fast tier or an injected fault
+			// leaves the page cold until a later scan retries it.
+			if errors.Is(err, mem.ErrOutOfMemory) || chaos.IsInjected(err) {
+				p.failures.Inc()
+				continue
+			}
 			return err
 		}
 		delete(p.cold, base)
@@ -107,7 +115,15 @@ func (p *IdleDemote) Tick(m *sim.Machine, now int64) error {
 	for _, base := range toDemote {
 		if _, err := m.Demote(base); err != nil {
 			if errors.Is(err, mem.ErrOutOfMemory) {
+				// Destination full: later candidates need the same 2MB
+				// frame, so stop this pass (pre-chaos behavior, pinned by
+				// the goldens).
+				p.failures.Inc()
 				break
+			}
+			if chaos.IsInjected(err) {
+				p.failures.Inc()
+				continue
 			}
 			return err
 		}
@@ -116,6 +132,10 @@ func (p *IdleDemote) Tick(m *sim.Machine, now int64) error {
 	}
 	return nil
 }
+
+// Failures returns how many placement moves this policy abandoned
+// (destination pressure or injected chaos faults).
+func (p *IdleDemote) Failures() uint64 { return p.failures.Value() }
 
 // Footprint implements sim.Policy.
 func (p *IdleDemote) Footprint(m *sim.Machine) sim.Footprint {

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/chaos"
+	"thermostat/internal/mem"
+)
+
+// TestAttemptMoveUniformHandling exercises the shared retry/quarantine
+// path that demote, promote, and sink all route through: plain OOM and
+// injected faults get identical treatment.
+func TestAttemptMoveUniformHandling(t *testing.T) {
+	t.Parallel()
+	m := testMachine(t)
+	g := testGroup(t, nil)
+	eng := NewEngine(g, 9)
+	if err := eng.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	base := addr.Virt(1 << 40)
+	next := func() addr.Virt { base += addr.Virt(addr.PageSize2M); return base }
+
+	// Plain OOM: retried to exhaustion with backoff, then quarantined —
+	// never fatal, for demote and promote alike.
+	calls := 0
+	handled, err := eng.attemptMove(base, func() error { calls++; return mem.ErrOutOfMemory })
+	if !handled || err != nil {
+		t.Fatalf("OOM exhaustion: handled=%v err=%v", handled, err)
+	}
+	if calls != defaultMaxAttempts {
+		t.Errorf("OOM attempted %d times, want %d", calls, defaultMaxAttempts)
+	}
+	if !eng.isQuarantined(base) {
+		t.Error("exhausted page not quarantined")
+	}
+
+	// Transient injected fault: one retry, then success — no quarantine.
+	transient := next()
+	calls = 0
+	handled, err = eng.attemptMove(transient, func() error {
+		calls++
+		if calls == 1 {
+			return &chaos.Fault{Site: chaos.MigrateCopy}
+		}
+		return nil
+	})
+	if handled || err != nil || calls != 2 {
+		t.Fatalf("transient fault: handled=%v err=%v calls=%d", handled, err, calls)
+	}
+	if eng.isQuarantined(transient) {
+		t.Error("recovered page wrongly quarantined")
+	}
+
+	// Permanent injected fault: immediate quarantine, no further attempts.
+	perm := next()
+	calls = 0
+	handled, err = eng.attemptMove(perm, func() error {
+		calls++
+		return &chaos.Fault{Site: chaos.MigrateCopy, Permanent: true}
+	})
+	if !handled || err != nil || calls != 1 {
+		t.Fatalf("permanent fault: handled=%v err=%v calls=%d", handled, err, calls)
+	}
+	if !eng.isQuarantined(perm) {
+		t.Error("permanently failed page not quarantined")
+	}
+
+	// Non-injected, non-OOM errors stay fatal: real bugs must not be
+	// absorbed by the degradation machinery.
+	boom := errors.New("boom")
+	handled, err = eng.attemptMove(next(), func() error { return boom })
+	if handled || !errors.Is(err, boom) {
+		t.Fatalf("fatal error swallowed: handled=%v err=%v", handled, err)
+	}
+
+	st := eng.Stats()
+	if want := uint64(defaultMaxAttempts - 1 + 1); st.Retries != want {
+		t.Errorf("Retries = %d, want %d", st.Retries, want)
+	}
+	if st.Quarantined != 2 {
+		t.Errorf("Quarantined = %d, want 2", st.Quarantined)
+	}
+	rep := eng.FaultReport()
+	if rep.Retried != st.Retries || rep.Quarantined != st.Quarantined {
+		t.Errorf("FaultReport disagrees with Stats: %+v vs %+v", rep, st)
+	}
+}
+
+// TestQuarantineExpires pins the lazy-expiry contract: a quarantined page
+// is skipped for quarantinePeriods sampling periods and eligible again
+// afterwards.
+func TestQuarantineExpires(t *testing.T) {
+	t.Parallel()
+	m := testMachine(t)
+	g := testGroup(t, nil)
+	eng := NewEngine(g, 10)
+	if err := eng.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	base := addr.Virt(1 << 40)
+	eng.quarantine(base)
+	if !eng.isQuarantined(base) {
+		t.Fatal("fresh quarantine not in effect")
+	}
+	if eng.QuarantinedPages() != 1 {
+		t.Fatalf("QuarantinedPages = %d", eng.QuarantinedPages())
+	}
+	for i := uint64(0); i < eng.quarantinePeriods; i++ {
+		eng.periods.Inc()
+	}
+	if eng.isQuarantined(base) {
+		t.Error("quarantine outlived its sentence")
+	}
+	if eng.QuarantinedPages() != 0 {
+		t.Error("expired quarantine entry not reaped")
+	}
+}

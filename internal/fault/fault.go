@@ -67,8 +67,14 @@ func NewRegistry() *Registry {
 	return &Registry{handlers: make(map[Kind]Handler)}
 }
 
-// Register installs h for kind, replacing any previous handler.
+// Register installs h for kind, replacing any previous handler. A nil h
+// removes the kind's handler, so subsequent faults of that kind report
+// "unhandled" instead of panicking through a nil interface.
 func (r *Registry) Register(kind Kind, h Handler) {
+	if h == nil {
+		delete(r.handlers, kind)
+		return
+	}
 	r.handlers[kind] = h
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"thermostat/internal/cgroup"
+	"thermostat/internal/chaos"
 	"thermostat/internal/core"
 	"thermostat/internal/sim"
 	"thermostat/internal/telemetry"
@@ -167,6 +168,11 @@ type Outcome struct {
 	// Telemetry is the run's collector when the experiment enabled
 	// telemetry (nil otherwise).
 	Telemetry *telemetry.Collector
+	// Faults summarizes chaos fault handling over the whole run: all
+	// zeros unless the machine config installed an injector. Thermostat
+	// runs report through the engine (adding retry/quarantine counts);
+	// other policies report the machine-level injector view.
+	Faults chaos.Report
 }
 
 // RunThermostat runs spec under Thermostat at the given slowdown target.
@@ -207,7 +213,8 @@ func RunThermostatWith(spec workload.Spec, sc Scale, slowdownPct float64,
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s under thermostat: %w", spec.Name, err)
 	}
-	return &Outcome{Spec: spec, Scale: sc, Machine: m, App: app, Engine: eng, Result: res}, nil
+	return &Outcome{Spec: spec, Scale: sc, Machine: m, App: app, Engine: eng,
+		Result: res, Faults: eng.FaultReport()}, nil
 }
 
 // RunBaseline runs spec with everything in fast memory (all-DRAM).
@@ -253,7 +260,8 @@ func runWithPolicy(spec workload.Spec, sc Scale, pol sim.Policy, hugeHost bool, 
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s under %s: %w", spec.Name, pol.Name(), err)
 	}
-	return &Outcome{Spec: spec, Scale: sc, Machine: m, App: app, Result: res}, nil
+	return &Outcome{Spec: spec, Scale: sc, Machine: m, App: app,
+		Result: res, Faults: m.FaultReport()}, nil
 }
 
 // RunPageMode runs spec with no placement policy and the given page-size
@@ -279,5 +287,6 @@ func RunPageMode(spec workload.Spec, sc Scale, huge bool) (*Outcome, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s page-mode: %w", spec.Name, err)
 	}
-	return &Outcome{Spec: spec, Scale: sc, Machine: m, App: app, Result: res}, nil
+	return &Outcome{Spec: spec, Scale: sc, Machine: m, App: app,
+		Result: res, Faults: m.FaultReport()}, nil
 }

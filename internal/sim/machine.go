@@ -16,6 +16,7 @@ import (
 	"thermostat/internal/addr"
 	"thermostat/internal/badgertrap"
 	"thermostat/internal/cache"
+	"thermostat/internal/chaos"
 	"thermostat/internal/fault"
 	"thermostat/internal/mem"
 	"thermostat/internal/numa"
@@ -92,6 +93,11 @@ type Config struct {
 	// (the default) compiles the instrumentation down to one nil check
 	// per site.
 	Recorder telemetry.Recorder
+	// Chaos configures deterministic fault injection into the migration
+	// and poisoning machinery. The zero value (all rates 0) installs no
+	// injector at all, so default machines are bit-identical to pre-chaos
+	// builds.
+	Chaos chaos.Config
 }
 
 // DefaultConfig returns the paper's evaluated machine: KVM guest with huge
@@ -165,6 +171,10 @@ type Machine struct {
 	// rec is the telemetry sink; nil (the default) means telemetry is off
 	// and every instrumentation site reduces to one nil check.
 	rec telemetry.Recorder
+
+	// chaos is the fault injector; nil (the default) means chaos is off
+	// and every injection site reduces to one nil check.
+	chaos *chaos.Injector
 
 	clock int64
 	next  addr.Virt // bump pointer for region allocation
@@ -274,6 +284,10 @@ func New(cfg Config) (*Machine, error) {
 	// traffic matrix that Metrics and the N-tier reports read.
 	m.meter = mem.NewMeter(0)
 	m.mig = numa.NewMigrator(m.sys, m.pt, m.tl, m.meter)
+	if inj := chaos.New(cfg.Chaos); inj != nil {
+		m.chaos = inj
+		m.mig.SetInjector(inj, func() int64 { return m.clock })
+	}
 	if cfg.Recorder != nil {
 		m.SetRecorder(cfg.Recorder)
 	}
@@ -323,6 +337,18 @@ func (m *Machine) SetRecorder(r telemetry.Recorder) {
 			FromTier: int8(src), ToTier: int8(dst), Bytes: bytes,
 		})
 	})
+}
+
+// Injector returns the chaos fault injector (nil when chaos is off).
+func (m *Machine) Injector() *chaos.Injector { return m.chaos }
+
+// FaultReport returns the machine-level chaos summary: injected-fault counts
+// from the injector plus migration-transaction rollbacks from the migrator.
+// Policy layers (core.Engine) add their retry/quarantine counts on top.
+func (m *Machine) FaultReport() chaos.Report {
+	r := m.chaos.Report()
+	r.RolledBack = m.mig.Rollbacks()
+	return r
 }
 
 // Guest returns the virtualization layer.
@@ -406,11 +432,20 @@ func (m *Machine) Demote(v addr.Virt) (int64, error) {
 	if src >= m.sys.Bottom() {
 		return 0, fmt.Errorf("sim: %s already in the bottom (%s) tier", v.Base2M(), src)
 	}
+	// Whether monitoring must be armed is decided up front so an injected
+	// poison failure strikes before any state changes (the demotion is then
+	// a clean no-op, trivially transactional).
+	needArm := !m.trap.IsPoisoned(v.Base2M())
+	if needArm && m.chaos != nil {
+		if f := m.chaos.Inject(chaos.PoisonArm, m.clock); f != nil {
+			return 0, fmt.Errorf("sim: Demote %s: %w", v.Base2M(), f)
+		}
+	}
 	cost, err := m.mig.MoveHuge(v, src+1, m.VPID(), mem.Demotion)
 	if err != nil {
 		return 0, err
 	}
-	if m.trap.IsPoisoned(v.Base2M()) {
+	if !needArm {
 		// Already monitored (page was below the top tier before); the
 		// poison carries over to the new frame's mapping unchanged.
 		return cost, nil
@@ -436,13 +471,36 @@ func (m *Machine) Promote(v addr.Virt) (int64, error) {
 	if src == mem.Fast {
 		return 0, fmt.Errorf("sim: %s already in the top (%s) tier", base, mem.Fast)
 	}
-	if m.trap.IsPoisoned(base) {
+	armed := m.trap.IsPoisoned(base)
+	if m.chaos != nil {
+		// Both poison-site faults strike before any state changes, so a
+		// failed promotion is a clean no-op.
+		if armed {
+			if f := m.chaos.Inject(chaos.PoisonDisarm, m.clock); f != nil {
+				return 0, fmt.Errorf("sim: Promote %s: %w", base, f)
+			}
+		}
+		if src-1 != mem.Fast {
+			if f := m.chaos.Inject(chaos.PoisonArm, m.clock); f != nil {
+				return 0, fmt.Errorf("sim: Promote %s: %w", base, f)
+			}
+		}
+	}
+	if armed {
 		if err := m.trap.Unpoison(base); err != nil {
 			return 0, err
 		}
 	}
 	cost, err := m.mig.MoveHuge(base, src-1, m.VPID(), mem.Promotion)
 	if err != nil {
+		// The move rolled back; re-arm the poison disarmed above so a
+		// failed promotion leaves monitoring (and slow-memory emulation)
+		// exactly as it was.
+		if armed {
+			if perr := m.trap.Poison(base, m.VPID()); perr != nil {
+				return 0, fmt.Errorf("sim: Promote %s: re-arm after failed move: %v (move error: %w)", base, perr, err)
+			}
+		}
 		return 0, err
 	}
 	if src-1 != mem.Fast {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"thermostat/internal/addr"
+	"thermostat/internal/chaos"
 	"thermostat/internal/mem"
 	"thermostat/internal/pagetable"
 	"thermostat/internal/telemetry"
@@ -13,6 +14,14 @@ import (
 // ground truth (which no real hardware can observe).
 type ColdChecker interface {
 	IsCold(base addr.Virt) bool
+}
+
+// FaultReporter is an optional Policy extension: it summarizes chaos fault
+// handling (injected/retried/rolled-back/quarantined). Policies that retry
+// and quarantine (core.Engine) implement it; for the rest the tracker falls
+// back to the machine-level report.
+type FaultReporter interface {
+	FaultReport() chaos.Report
 }
 
 // epochBase is the machine counter baseline captured at an epoch boundary;
@@ -27,6 +36,7 @@ type epochBase struct {
 	migBytes     uint64
 	demotions    uint64
 	promotions   uint64
+	chaos        chaos.Report
 }
 
 // epochTracker drives the telemetry epoch protocol for one run: it brackets
@@ -36,7 +46,8 @@ type epochBase struct {
 type epochTracker struct {
 	m   *Machine
 	rec telemetry.Recorder
-	cc  ColdChecker // nil when the policy has no cold set
+	cc  ColdChecker   // nil when the policy has no cold set
+	fr  FaultReporter // nil when the policy has no fault handling
 
 	epoch      uint64
 	startNs    int64
@@ -52,10 +63,20 @@ func newEpochTracker(m *Machine, pol Policy) *epochTracker {
 	}
 	if pol != nil {
 		t.cc, _ = pol.(ColdChecker)
+		t.fr, _ = pol.(FaultReporter)
 	}
 	t.epoch = 1
 	t.begin(m.Clock())
 	return t
+}
+
+// faultReport reads the richest available chaos summary: the policy's (which
+// includes retries/quarantines) when it reports one, else the machine's.
+func (t *epochTracker) faultReport() chaos.Report {
+	if t.fr != nil {
+		return t.fr.FaultReport()
+	}
+	return t.m.FaultReport()
 }
 
 func (t *epochTracker) capture() epochBase {
@@ -71,6 +92,7 @@ func (t *epochTracker) capture() epochBase {
 		migBytes:     met.MigrationBytes,
 		demotions:    meter.Pages2M(mem.Demotion) + meter.Pages4K(mem.Demotion),
 		promotions:   meter.Pages2M(mem.Promotion) + meter.Pages4K(mem.Promotion),
+		chaos:        t.faultReport(),
 	}
 }
 
@@ -106,6 +128,13 @@ func (t *epochTracker) end(nowNs int64) {
 		MigrationBytes: cur.migBytes - t.base.migBytes,
 		Demotions:      cur.demotions - t.base.demotions,
 		Promotions:     cur.promotions - t.base.promotions,
+	}
+	if d := cur.chaos.Sub(t.base.chaos); !d.Zero() {
+		snap.FaultsInjected = d.Injected
+		snap.FaultsPermanent = d.Permanent
+		snap.MigrationRetries = d.Retried
+		snap.MigrationRollbacks = d.RolledBack
+		snap.PagesQuarantined = d.Quarantined
 	}
 	snap.TierAccesses = make([]uint64, len(cur.tierAccesses))
 	for i := range cur.tierAccesses {

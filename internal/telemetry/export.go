@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"thermostat/internal/chaos"
 )
 
 // Chrome trace_event lane (tid) assignment: one lane per event family so
@@ -26,7 +28,7 @@ func laneOf(k Kind) int {
 		return laneSampling
 	case KindMigrated:
 		return lanePlacement
-	case KindFaultInjected:
+	case KindFaultInjected, KindChaosFault:
 		return laneFaults
 	default: // huge-split / huge-collapse
 		return laneDaemons
@@ -128,6 +130,10 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 			if e.Kind == KindPageSampled {
 				args["was_cold"] = e.Cold
 			}
+			if e.Kind == KindChaosFault {
+				args["site"] = chaos.Site(e.Site).String()
+				args["permanent"] = e.Permanent
+			}
 			ev.Args = args
 		}
 		if err := emit(ev); err != nil {
@@ -154,6 +160,17 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		}
 		if err := emit(chromeEvent{Name: "migration", Phase: "C", TsUs: ts, Pid: 1, Args: mig}); err != nil {
 			return err
+		}
+		// The chaos track appears only when the epoch saw fault activity, so
+		// traces from uninjected runs stay byte-identical.
+		if s.FaultsInjected != 0 || s.MigrationRetries != 0 || s.MigrationRollbacks != 0 || s.PagesQuarantined != 0 {
+			ch := map[string]any{
+				"injected": s.FaultsInjected, "retried": s.MigrationRetries,
+				"rolled_back": s.MigrationRollbacks, "quarantined": s.PagesQuarantined,
+			}
+			if err := emit(chromeEvent{Name: "chaos", Phase: "C", TsUs: ts, Pid: 1, Args: ch}); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -192,6 +209,13 @@ type jsonlSnapshot struct {
 	ColdAccessed   uint64   `json:"cold_accessed,omitempty"`
 	HotIdle        uint64   `json:"hot_idle,omitempty"`
 	HotAccessed    uint64   `json:"hot_accessed,omitempty"`
+	// Chaos counters are omitted when zero so uninjected runs keep their
+	// pre-chaos byte layout.
+	FaultsInjected     uint64 `json:"chaos_injected,omitempty"`
+	FaultsPermanent    uint64 `json:"chaos_permanent,omitempty"`
+	MigrationRetries   uint64 `json:"migration_retries,omitempty"`
+	MigrationRollbacks uint64 `json:"migration_rollbacks,omitempty"`
+	PagesQuarantined   uint64 `json:"pages_quarantined,omitempty"`
 }
 
 // WriteJSONL writes one JSON object per retained epoch snapshot, oldest
@@ -210,6 +234,9 @@ func (c *Collector) WriteJSONL(w io.Writer) error {
 			Promotions: s.Promotions, ColdBytes: s.ColdBytes, HotBytes: s.HotBytes,
 			ConfusionValid: s.ConfusionValid, ColdIdle: s.ColdIdle,
 			ColdAccessed: s.ColdAccessed, HotIdle: s.HotIdle, HotAccessed: s.HotAccessed,
+			FaultsInjected: s.FaultsInjected, FaultsPermanent: s.FaultsPermanent,
+			MigrationRetries: s.MigrationRetries, MigrationRollbacks: s.MigrationRollbacks,
+			PagesQuarantined: s.PagesQuarantined,
 		}); err != nil {
 			return err
 		}
@@ -221,17 +248,19 @@ func (c *Collector) WriteJSONL(w io.Writer) error {
 // table (the quickstart and CLI -epochs output).
 func (c *Collector) EpochTable() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%5s %9s %12s %8s %10s %9s %7s %7s %9s %9s\n",
-		"epoch", "end_s", "accesses", "slow%", "tlb_miss", "faults", "demote", "promote", "mig_mb", "cold_mb")
+	fmt.Fprintf(&b, "%5s %9s %12s %8s %10s %9s %7s %7s %9s %9s %6s %6s %6s %6s\n",
+		"epoch", "end_s", "accesses", "slow%", "tlb_miss", "faults", "demote", "promote", "mig_mb", "cold_mb",
+		"inject", "retry", "rollbk", "quar")
 	for _, s := range c.Snapshots() {
 		slowPct := 0.0
 		if s.Accesses > 0 {
 			slowPct = 100 * float64(s.SlowAccesses) / float64(s.Accesses)
 		}
-		fmt.Fprintf(&b, "%5d %9.2f %12d %8.2f %10d %9d %7d %7d %9.2f %9.1f\n",
+		fmt.Fprintf(&b, "%5d %9.2f %12d %8.2f %10d %9d %7d %7d %9.2f %9.1f %6d %6d %6d %6d\n",
 			s.Epoch, float64(s.EndNs)/1e9, s.Accesses, slowPct,
 			s.TLBMisses, s.PoisonFaults, s.Demotions, s.Promotions,
-			float64(s.MigrationBytes)/(1<<20), float64(s.ColdBytes)/(1<<20))
+			float64(s.MigrationBytes)/(1<<20), float64(s.ColdBytes)/(1<<20),
+			s.FaultsInjected, s.MigrationRetries, s.MigrationRollbacks, s.PagesQuarantined)
 	}
 	if c.dropped > 0 {
 		fmt.Fprintf(&b, "(%d events dropped past the %d-event cap)\n", c.dropped, c.cfg.MaxEvents)

@@ -52,6 +52,10 @@ const (
 	// KindHugePageCollapse records 512 children collapsed back to one 2MB
 	// mapping (engine restore or khugepaged).
 	KindHugePageCollapse
+	// KindChaosFault records one injected chaos fault observed by the
+	// policy: Site identifies the injection point, Count the attempt number
+	// it struck, Permanent whether retrying is futile.
+	KindChaosFault
 	nKinds
 )
 
@@ -76,6 +80,8 @@ func (k Kind) String() string {
 		return "huge-split"
 	case KindHugePageCollapse:
 		return "huge-collapse"
+	case KindChaosFault:
+		return "chaos-fault"
 	default:
 		return "unknown"
 	}
@@ -99,6 +105,11 @@ type Event struct {
 	Rate float64
 	// Cold is the classification verdict or prior state.
 	Cold bool
+	// Site is the chaos injection site (KindChaosFault only; numeric value
+	// of chaos.Site).
+	Site uint8
+	// Permanent marks a permanent injected fault (KindChaosFault only).
+	Permanent bool
 }
 
 // Snapshot is one epoch's metric snapshot, built from machine counter deltas
@@ -142,6 +153,16 @@ type Snapshot struct {
 	ColdAccessed   uint64 // classified cold, truly active (false cold: pays slow-mem)
 	HotIdle        uint64 // classified hot, truly idle    (missed saving)
 	HotAccessed    uint64 // classified hot, truly active  (correct)
+
+	// Chaos/robustness counters within the epoch: injected faults, retried
+	// migration attempts, rolled-back migration transactions, and pages
+	// newly quarantined. All zero (and omitted from JSONL) when no chaos
+	// injector is installed and no migration failed.
+	FaultsInjected     uint64
+	FaultsPermanent    uint64
+	MigrationRetries   uint64
+	MigrationRollbacks uint64
+	PagesQuarantined   uint64
 }
 
 // Recorder receives events and snapshots. Implementations must not retain

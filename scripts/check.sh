@@ -46,4 +46,26 @@ cmp "$tracedir/w1.trace.json" "$tracedir/w8.trace.json"
 cmp "$tracedir/w1.metrics.jsonl" "$tracedir/w8.metrics.jsonl"
 echo "traces byte-identical at -workers 1 and -workers 8"
 
+echo "== chaos gates"
+# Inertness: -chaos-rate 0 must be byte-identical to a run without any
+# chaos flags, even with a seed and permanent fraction configured — the
+# zero-rate config installs no injector at all.
+go run ./cmd/thermostat-sim -app redis -scale tiny -duration 4 -workers 1 \
+	-chaos-rate 0 -chaos-seed 7 -chaos-permanent 1 \
+	-trace "$tracedir/c0.trace.json" -metrics "$tracedir/c0.metrics.jsonl" >/dev/null
+cmp "$tracedir/w1.trace.json" "$tracedir/c0.trace.json"
+cmp "$tracedir/w1.metrics.jsonl" "$tracedir/c0.metrics.jsonl"
+# Survival + reproducibility: a seeded run with permanent migration
+# failures must complete under the race detector and export byte-identical
+# files at any worker count.
+go run -race ./cmd/thermostat-sim -app cassandra -scale tiny -duration 6 -workers 1 \
+	-chaos-rate 0.3 -chaos-permanent 0.5 -chaos-seed 7 \
+	-trace "$tracedir/cw1.trace.json" -metrics "$tracedir/cw1.metrics.jsonl" >/dev/null
+go run -race ./cmd/thermostat-sim -app cassandra -scale tiny -duration 6 -workers 8 \
+	-chaos-rate 0.3 -chaos-permanent 0.5 -chaos-seed 7 \
+	-trace "$tracedir/cw8.trace.json" -metrics "$tracedir/cw8.metrics.jsonl" >/dev/null
+cmp "$tracedir/cw1.trace.json" "$tracedir/cw8.trace.json"
+cmp "$tracedir/cw1.metrics.jsonl" "$tracedir/cw8.metrics.jsonl"
+echo "chaos: rate-0 inert, seeded faults survive and reproduce at any worker count"
+
 echo "check: OK"

@@ -37,6 +37,7 @@ package thermostat
 
 import (
 	"thermostat/internal/cgroup"
+	"thermostat/internal/chaos"
 	"thermostat/internal/core"
 	"thermostat/internal/hugepaged"
 	"thermostat/internal/mem"
@@ -51,6 +52,16 @@ type Machine = sim.Machine
 
 // MachineConfig assembles a Machine.
 type MachineConfig = sim.Config
+
+// ChaosConfig configures deterministic fault injection into the migration
+// and poisoning machinery (MachineConfig.Chaos). The zero value installs
+// no injector; see DESIGN.md "Robustness".
+type ChaosConfig = chaos.Config
+
+// FaultReport summarizes a run's chaos fault handling: injections,
+// retries, rollbacks, quarantined pages (Machine.FaultReport,
+// Engine.FaultReport).
+type FaultReport = chaos.Report
 
 // SlowMemMode selects how slow-memory accesses are costed.
 type SlowMemMode = sim.SlowMemMode
