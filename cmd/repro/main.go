@@ -8,7 +8,8 @@
 //
 // Experiments: fig1, naive, fig2, table1, table2, fig3, colddata (figures
 // 5-10), fig11, table3, table4, baselines (policy comparison), ablations
-// (design-choice studies), ntier (DRAM/CXL/NVM sweep; not part of 'all').
+// (design-choice studies), ntier (DRAM/CXL/NVM sweep; not part of 'all'),
+// matrix (tracker × policy × workload × topology zoo; not part of 'all').
 //
 // Independent runs fan out across -workers goroutines (default: all cores).
 // Results are bit-for-bit identical at any worker count; -workers 1 is the
@@ -246,6 +247,20 @@ func main() {
 	}
 	if selected("ablations") {
 		runAblations(opt, emit)
+	}
+	// The policy matrix is opt-in like ntier: it compares this repo's
+	// tracker × policy zoo head-to-head, which the paper never did.
+	if want["matrix"] {
+		fmt.Fprintln(os.Stderr, "running policy matrix (tracker × policy × workload × topology)...")
+		mopt := harness.MatrixOptions{
+			Scale: opt.Scale, Apps: opt.Apps,
+			SlowdownPct: opt.SlowdownPct, Workers: opt.Workers,
+		}
+		rep, err := harness.PolicyMatrix(mopt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("policy_matrix", rep.Table())
 	}
 	// The N-tier sweep is opt-in: it is not part of the paper's evaluation,
 	// so 'all' (the paper regeneration) does not include it.

@@ -37,7 +37,8 @@ import (
 func main() {
 	var (
 		appFlag   = flag.String("app", "redis", "application model (see -list)")
-		polFlag   = flag.String("policy", "thermostat", "thermostat, idle-demote, or all-dram")
+		polFlag   = flag.String("policy", "thermostat", "thermostat, idle-demote, all-dram, or a placement policy ("+strings.Join(core.PolicyNames(), ", ")+") composed with -tracker")
+		trkFlag   = flag.String("tracker", "", "access tracker for composition policies ("+strings.Join(core.TrackerNames(), ", ")+"; default poison)")
 		slowdown  = flag.Float64("slowdown", 3, "tolerable slowdown percent (thermostat)")
 		idleSecs  = flag.Float64("idle-window", 10, "idle window seconds (idle-demote)")
 		scaleName = flag.String("scale", "repro", "scale profile: tiny, bench, repro")
@@ -66,11 +67,15 @@ func main() {
 	}
 
 	if err := validate(options{
-		App: *appFlag, Policy: *polFlag, Scale: *scaleName,
+		App: *appFlag, Policy: *polFlag, Tracker: *trkFlag, Scale: *scaleName,
 		Slowdown: *slowdown, IdleSecs: *idleSecs, Duration: *duration,
 		Tiers: *tiersFlag, ChaosRate: *chaosRate, ChaosPerm: *chaosPerm,
 	}); err != nil {
 		fatal(err)
+	}
+	tracker := *trkFlag
+	if tracker == "" {
+		tracker = "poison"
 	}
 
 	spec, _ := workload.ByName(*appFlag)
@@ -96,7 +101,7 @@ func main() {
 	}
 
 	if *tiersFlag != "" {
-		runNTier(spec, sc, *tiersFlag, *slowdown)
+		runNTier(spec, sc, *tiersFlag, tracker, *polFlag, *slowdown)
 		return
 	}
 
@@ -134,7 +139,11 @@ func main() {
 	case "all-dram":
 		runPolicy = func() (*harness.Outcome, error) { return harness.RunBaselineWith(spec, sc, attach) }
 	default:
-		fatal(fmt.Errorf("unknown policy %q", *polFlag))
+		// validate() already vetted the name: a composition policy from the
+		// core registry, paired with -tracker (default poison).
+		runPolicy = func() (*harness.Outcome, error) {
+			return harness.RunComposedWith(spec, sc, tracker, *polFlag, *slowdown, attach)
+		}
 	}
 
 	// The all-DRAM baseline and the policy run are independent simulations;
@@ -213,7 +222,7 @@ func main() {
 
 // runNTier runs spec on the named device hierarchy and prints the N-tier
 // reports: run summary, per-tier-pair migration traffic, per-tier cost.
-func runNTier(spec workload.Spec, sc harness.Scale, names string, slowdown float64) {
+func runNTier(spec workload.Spec, sc harness.Scale, names, tracker, policy string, slowdown float64) {
 	var tiers []mem.Spec
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
@@ -225,7 +234,13 @@ func runNTier(spec workload.Spec, sc harness.Scale, names string, slowdown float
 	}
 	fmt.Fprintf(os.Stderr, "running %s on %d tiers (%s) at %.0f%% target...\n",
 		spec.Name, len(tiers), names, slowdown)
-	out, err := harness.RunNTier(spec, sc, tiers, slowdown)
+	var out *harness.Outcome
+	var err error
+	if policy == "thermostat" {
+		out, err = harness.RunNTier(spec, sc, tiers, slowdown)
+	} else {
+		out, err = harness.RunNTierComposed(spec, sc, tiers, tracker, policy, slowdown)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -43,10 +43,25 @@ func TestValidateRejections(t *testing.T) {
 			o.Policy = "all-dram"
 			o.ChaosRate = 0.1
 		}, "migrating policy"},
-		{"tiers under non-thermostat policy", func(o *options) {
+		{"tiers under non-migrating policy", func(o *options) {
 			o.Policy = "idle-demote"
 			o.Tiers = "dram,cxl"
-		}, "-tiers only runs"},
+		}, "-tiers needs a migrating engine"},
+		{"unknown tracker", func(o *options) {
+			o.Policy = "threshold"
+			o.Tracker = "nosuch"
+		}, "unknown tracker"},
+		{"tracker under fixed arm", func(o *options) {
+			o.Tracker = "damon" // policy stays "thermostat"
+		}, "needs a composition policy"},
+		{"tracker under all-dram", func(o *options) {
+			o.Policy = "all-dram"
+			o.Tracker = "idlebit"
+		}, "needs a composition policy"},
+		{"nonpositive slowdown for composition", func(o *options) {
+			o.Policy = "heat"
+			o.Slowdown = 0
+		}, "-slowdown"},
 		{"tiers with chaos", func(o *options) {
 			o.Tiers = "dram,cxl"
 			o.ChaosRate = 0.1
@@ -87,5 +102,28 @@ func TestValidateAcceptsChaosAndTierCombos(t *testing.T) {
 	o.Tiers = "dram, cxl ,nvm"
 	if err := validate(o); err != nil {
 		t.Fatalf("whitespace-padded presets rejected: %v", err)
+	}
+}
+
+func TestValidateAcceptsCompositions(t *testing.T) {
+	for _, tracker := range []string{"", "poison", "idlebit", "softdirty", "damon"} {
+		for _, policy := range []string{"threshold", "heat"} {
+			o := valid()
+			o.Tracker, o.Policy = tracker, policy
+			if err := validate(o); err != nil {
+				t.Fatalf("composition %q+%q rejected: %v", tracker, policy, err)
+			}
+		}
+	}
+	// Compositions migrate, so deep hierarchies and chaos both apply.
+	o := valid()
+	o.Policy, o.Tracker, o.Tiers = "heat", "damon", "dram,cxl,nvm"
+	if err := validate(o); err != nil {
+		t.Fatalf("composition with -tiers rejected: %v", err)
+	}
+	o = valid()
+	o.Policy, o.ChaosRate = "threshold", 0.2
+	if err := validate(o); err != nil {
+		t.Fatalf("composition with chaos rejected: %v", err)
 	}
 }

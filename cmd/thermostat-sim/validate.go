@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"thermostat/internal/core"
 	"thermostat/internal/mem"
 	"thermostat/internal/workload"
 )
@@ -13,6 +14,7 @@ import (
 type options struct {
 	App       string
 	Policy    string
+	Tracker   string
 	Scale     string
 	Slowdown  float64
 	IdleSecs  float64
@@ -22,6 +24,22 @@ type options struct {
 	ChaosPerm float64
 }
 
+// isCompositionPolicy reports whether name is a placement policy from the
+// core registry (a tracker × policy composition) rather than one of the
+// fixed legacy arms.
+func isCompositionPolicy(name string) bool {
+	for _, p := range core.PolicyNames() {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// migratesPages reports whether the policy arm moves pages between tiers
+// (every arm except the all-DRAM baseline does).
+func migratesPages(policy string) bool { return policy != "all-dram" }
+
 // validate rejects inconsistent flag combinations before any simulation
 // state is built, with a one-line usage error per defect — conditions that
 // previously surfaced as mid-run fatals (unknown presets, -tiers under the
@@ -30,10 +48,29 @@ func validate(o options) error {
 	if _, ok := workload.ByName(o.App); !ok {
 		return fmt.Errorf("unknown application %q (try -list)", o.App)
 	}
-	switch o.Policy {
-	case "thermostat", "idle-demote", "all-dram":
+	switch {
+	case o.Policy == "thermostat" || o.Policy == "idle-demote" || o.Policy == "all-dram":
+	case isCompositionPolicy(o.Policy):
 	default:
-		return fmt.Errorf("unknown policy %q (thermostat, idle-demote, or all-dram)", o.Policy)
+		return fmt.Errorf("unknown policy %q (thermostat, idle-demote, all-dram, or a composition policy: %s)",
+			o.Policy, strings.Join(core.PolicyNames(), ", "))
+	}
+	if o.Tracker != "" {
+		known := false
+		for _, t := range core.TrackerNames() {
+			if t == o.Tracker {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown tracker %q (trackers: %s)",
+				o.Tracker, strings.Join(core.TrackerNames(), ", "))
+		}
+		if !isCompositionPolicy(o.Policy) {
+			return fmt.Errorf("-tracker %s needs a composition policy (-policy %s); -policy %s is a fixed arm",
+				o.Tracker, strings.Join(core.PolicyNames(), " or "), o.Policy)
+		}
 	}
 	switch o.Scale {
 	case "tiny", "bench", "repro":
@@ -43,8 +80,8 @@ func validate(o options) error {
 	if o.Duration < 0 {
 		return fmt.Errorf("-duration %g is negative", o.Duration)
 	}
-	if o.Policy == "thermostat" && o.Slowdown <= 0 {
-		return fmt.Errorf("-slowdown %g must be positive for -policy thermostat", o.Slowdown)
+	if (o.Policy == "thermostat" || isCompositionPolicy(o.Policy)) && o.Slowdown <= 0 {
+		return fmt.Errorf("-slowdown %g must be positive for -policy %s", o.Slowdown, o.Policy)
 	}
 	if o.Policy == "idle-demote" && o.IdleSecs <= 0 {
 		return fmt.Errorf("-idle-window %g must be positive for -policy idle-demote", o.IdleSecs)
@@ -55,12 +92,16 @@ func validate(o options) error {
 	if o.ChaosPerm < 0 || o.ChaosPerm > 1 {
 		return fmt.Errorf("-chaos-permanent %g outside [0, 1]", o.ChaosPerm)
 	}
-	if o.ChaosRate > 0 && o.Policy == "all-dram" {
-		return fmt.Errorf("-chaos-rate needs a migrating policy (thermostat or idle-demote); all-dram never migrates")
+	if o.ChaosRate > 0 && !migratesPages(o.Policy) {
+		return fmt.Errorf("-chaos-rate needs a migrating policy; all-dram never migrates")
 	}
 	if o.Tiers != "" {
-		if o.Policy != "thermostat" {
-			return fmt.Errorf("-tiers only runs under -policy thermostat")
+		// A deep hierarchy only makes sense under an engine that migrates
+		// between its tiers: the paper's arm or any tracker × policy
+		// composition.
+		if o.Policy != "thermostat" && !isCompositionPolicy(o.Policy) {
+			return fmt.Errorf("-tiers needs a migrating engine (-policy thermostat, %s)",
+				strings.Join(core.PolicyNames(), ", or "))
 		}
 		if o.ChaosRate > 0 {
 			return fmt.Errorf("-chaos-rate is not supported with -tiers")

@@ -1,38 +1,14 @@
 package core
 
 import (
-	"errors"
 	"fmt"
-	"sort"
 
 	"thermostat/internal/addr"
 	"thermostat/internal/cgroup"
 	"thermostat/internal/chaos"
-	"thermostat/internal/kstaled"
-	"thermostat/internal/mem"
-	"thermostat/internal/pagetable"
-	"thermostat/internal/rng"
 	"thermostat/internal/sim"
 	"thermostat/internal/stats"
-	"thermostat/internal/telemetry"
 )
-
-// Modeled daemon CPU costs (charged off the application critical path, as
-// the paper's kthread runs on spare cores).
-const (
-	splitCostNs    = 2000
-	collapseCostNs = 2000
-	poisonCostNs   = 500
-	perLeafScanNs  = kstaled.DefaultEntryCostNs
-)
-
-// sample tracks one huge page through a sampling cycle.
-type sample struct {
-	base      addr.Virt
-	wasCold   bool
-	nAccessed int
-	poisoned  []addr.Virt
-}
 
 // Stats are the engine's lifetime counters.
 type Stats struct {
@@ -62,165 +38,105 @@ type Stats struct {
 	Quarantined uint64
 }
 
-// Engine is the Thermostat policy. It implements sim.Policy.
+// Engine drives one Tracker × Policy composition as a sim.Policy. Each tick
+// runs the fixed phase order
+//
+//	Policy.Correct → Tracker.Estimates → Policy.Place → Tracker.Arm →
+//	Policy.EndPeriod
+//
+// which for the poison tracker + threshold policy replays the monolithic
+// Thermostat engine's correct → classify → poison → split cycle exactly.
 type Engine struct {
 	group *cgroup.Group
-	r     *rng.PCG
 	m     *sim.Machine
+	tr    Tracker
+	pol   Policy
 
-	// The sampling cycle is pipelined (Figure 4's three scans overlap
-	// across cohorts): every tick classifies the cohort poisoned last
-	// tick, poisons the cohort split last tick, and splits a fresh 5%
-	// cohort — so a full sample fraction completes every scan interval.
-	splitCohort    map[addr.Virt]*sample
-	poisonedCohort map[addr.Virt]*sample
-	// cold tracks every page below the top tier; in an N-tier hierarchy
-	// the page may sit in any lower tier (idleStreak drives it deeper).
-	cold     map[addr.Virt]bool
+	name     string
 	lastTick int64
-
-	// idleStreak counts consecutive zero-access correction passes per
-	// cold page; pages idle for sinkAfterIdleScans passes sink one tier
-	// deeper when the hierarchy has more than two tiers.
-	idleStreak map[addr.Virt]int
-
-	// seen holds per-page fault-count snapshots so the engine consumes
-	// count *deltas* instead of resetting the shared trap — multiple
-	// engines (one per cgroup) can then coexist on one machine.
-	seen map[addr.Virt]uint64
-
-	// scope, when set, restricts sampling and footprint accounting to the
-	// returned address ranges (the engine's cgroup's memory). Nil means
-	// the whole address space.
-	scope func() []addr.Range
 
 	lastEstimates []Estimate
 
-	// Ablation switches (default on): the §3.2 Accessed-bit pre-filter
-	// and the §3.5 mis-classification corrector.
-	noPrefilter  bool
-	noCorrection bool
-
-	// Migration retry policy: failed moves are retried up to maxAttempts
-	// with exponential backoff (charged as daemon time in virtual ns);
-	// pages that fail permanently, or keep failing, are quarantined —
-	// skipped for quarantinePeriods sampling periods — instead of killing
-	// the run.
-	maxAttempts       int
-	backoffBaseNs     int64
-	quarantinePeriods uint64
-	// quarUntil maps a quarantined page to the period count at which it
-	// becomes eligible again; entries expire lazily.
-	quarUntil map[addr.Virt]uint64
-
-	periods         stats.Counter
-	sampled         stats.Counter
-	demotions       stats.Counter
-	promotions      stats.Counter
-	sinks           stats.Counter
-	demoteFailures  stats.Counter
-	promoteFailures stats.Counter
-	retries         stats.Counter
-	quarantined     stats.Counter
+	periods stats.Counter
 }
 
-// sinkAfterIdleScans is how many consecutive zero-access correction passes
-// sink a cold page one tier deeper in an N-tier hierarchy.
-const sinkAfterIdleScans = 3
+// Compose builds an engine from a tracker and a policy. The display name is
+// "<tracker>+<policy>".
+func Compose(group *cgroup.Group, tr Tracker, pol Policy) *Engine {
+	return &Engine{
+		group: group,
+		tr:    tr,
+		pol:   pol,
+		name:  tr.Name() + "+" + pol.Name(),
+	}
+}
 
-// Default migration retry policy. Backoff doubles per attempt: 50µs, 100µs.
-const (
-	defaultMaxAttempts       = 3
-	defaultBackoffBaseNs     = 50_000
-	defaultQuarantinePeriods = 5
-)
-
-// NewEngine builds a Thermostat engine drawing parameters from group and
+// NewEngine builds the Thermostat engine — the poison tracker composed with
+// the slowdown-threshold policy — drawing parameters from group and
 // randomness from seed.
 func NewEngine(group *cgroup.Group, seed uint64) *Engine {
-	return &Engine{
-		group:             group,
-		r:                 rng.New(seed),
-		splitCohort:       make(map[addr.Virt]*sample),
-		poisonedCohort:    make(map[addr.Virt]*sample),
-		cold:              make(map[addr.Virt]bool),
-		idleStreak:        make(map[addr.Virt]int),
-		seen:              make(map[addr.Virt]uint64),
-		maxAttempts:       defaultMaxAttempts,
-		backoffBaseNs:     defaultBackoffBaseNs,
-		quarantinePeriods: defaultQuarantinePeriods,
-		quarUntil:         make(map[addr.Virt]uint64),
-	}
+	e := Compose(group, NewPoisonTracker(group, seed), NewThresholdPolicy())
+	e.name = "thermostat"
+	return e
 }
+
+// ComposeByName builds an engine from registry names (see TrackerNames and
+// PolicyNames).
+func ComposeByName(group *cgroup.Group, tracker, policy string, seed uint64) (*Engine, error) {
+	tr, err := NewTrackerByName(tracker, group, seed)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := NewPolicyByName(policy)
+	if err != nil {
+		return nil, err
+	}
+	return Compose(group, tr, pol), nil
+}
+
+// Tracker returns the composed tracker (for configuration and inspection).
+func (e *Engine) Tracker() Tracker { return e.tr }
+
+// Policy returns the composed placement policy.
+func (e *Engine) Policy() Policy { return e.pol }
 
 // SetRetryPolicy overrides the migration retry/quarantine parameters (for
-// tests and experiments). maxAttempts < 1 is clamped to 1.
+// tests and experiments) when the composed policy supports them.
+// maxAttempts < 1 is clamped to 1.
 func (e *Engine) SetRetryPolicy(maxAttempts int, backoffBaseNs int64, quarantinePeriods uint64) {
-	if maxAttempts < 1 {
-		maxAttempts = 1
+	if rp, ok := e.pol.(interface {
+		SetRetryPolicy(int, int64, uint64)
+	}); ok {
+		rp.SetRetryPolicy(maxAttempts, backoffBaseNs, quarantinePeriods)
 	}
-	e.maxAttempts = maxAttempts
-	e.backoffBaseNs = backoffBaseNs
-	e.quarantinePeriods = quarantinePeriods
 }
 
-// SetPrefilter enables or disables the §3.2 two-step refinement: with the
-// pre-filter off, the sampler poisons K uniformly random children instead
-// of K random *accessed* children and scales estimates by the full 512 —
-// the naive strategy the paper rejects because sparse hot children are
-// easily missed. For ablation studies.
-func (e *Engine) SetPrefilter(on bool) { e.noPrefilter = !on }
+// SetPrefilter enables or disables the poison tracker's §3.2 Accessed-bit
+// pre-filter (a no-op for trackers without one). For ablation studies.
+func (e *Engine) SetPrefilter(on bool) {
+	if pf, ok := e.tr.(interface{ SetPrefilter(bool) }); ok {
+		pf.SetPrefilter(on)
+	}
+}
 
-// SetCorrection enables or disables the §3.5 corrector. For ablation
-// studies: without it, mis-classified pages stay in slow memory until
-// resampled, and slowdown is unbounded under working-set changes.
-func (e *Engine) SetCorrection(on bool) { e.noCorrection = !on }
+// SetCorrection enables or disables the policy's mis-classification
+// corrector (a no-op for policies without one). For ablation studies.
+func (e *Engine) SetCorrection(on bool) {
+	if c, ok := e.pol.(interface{ SetCorrection(bool) }); ok {
+		c.SetCorrection(on)
+	}
+}
 
 // SetScope restricts the engine to the address ranges returned by provider
 // — its cgroup's memory — so several engines can manage disjoint tenants on
 // one machine. The provider is consulted at every scan (ranges may grow).
-func (e *Engine) SetScope(provider func() []addr.Range) { e.scope = provider }
-
-// inScope reports whether a page base falls in the engine's scope.
-func (e *Engine) inScope(base addr.Virt, ranges []addr.Range) bool {
-	if ranges == nil {
-		return true
-	}
-	for _, r := range ranges {
-		if r.Contains(base) {
-			return true
-		}
-	}
-	return false
-}
-
-// scopeRanges returns the current scope (nil = everything).
-func (e *Engine) scopeRanges() []addr.Range {
-	if e.scope == nil {
-		return nil
-	}
-	return e.scope()
-}
-
-// delta returns the page's fault-count increase since this engine last
-// looked, without disturbing the shared trap state. base is always the base
-// address of a currently-mapped leaf (a cold huge page or a split child), so
-// the trap's CountLeaf fast path applies.
-func (e *Engine) delta(base addr.Virt) uint64 {
-	c := e.m.Trap().CountLeaf(base)
-	d := c - e.seen[base]
-	e.seen[base] = c
-	return d
-}
-
-// snapshot records the page's current count as already-consumed, so the
-// next delta covers only events from now on.
-func (e *Engine) snapshot(base addr.Virt) {
-	e.seen[base] = e.m.Trap().CountLeaf(base)
+func (e *Engine) SetScope(provider func() []addr.Range) {
+	e.tr.SetScope(provider)
+	e.pol.SetScope(provider)
 }
 
 // Name implements sim.Policy.
-func (e *Engine) Name() string { return "thermostat" }
+func (e *Engine) Name() string { return e.name }
 
 // IntervalNs implements sim.Policy: one tick per scan interval.
 func (e *Engine) IntervalNs() int64 { return e.group.Params().SamplePeriodNs }
@@ -229,52 +145,68 @@ func (e *Engine) IntervalNs() int64 { return e.group.Params().SamplePeriodNs }
 func (e *Engine) Attach(m *sim.Machine) error {
 	e.m = m
 	e.lastTick = m.Clock()
-	return nil
+	if err := e.tr.Attach(m, e.pol); err != nil {
+		return err
+	}
+	return e.pol.Attach(m, e.group, e.tr)
 }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
+	ps := e.pol.PlacementStats()
 	return Stats{
 		Periods:         e.periods.Value(),
-		Sampled:         e.sampled.Value(),
-		Demotions:       e.demotions.Value(),
-		Promotions:      e.promotions.Value(),
-		Sinks:           e.sinks.Value(),
-		DemoteFailures:  e.demoteFailures.Value(),
-		PromoteFailures: e.promoteFailures.Value(),
-		Retries:         e.retries.Value(),
-		Quarantined:     e.quarantined.Value(),
+		Sampled:         e.tr.Sampled(),
+		Demotions:       ps.Demotions,
+		Promotions:      ps.Promotions,
+		Sinks:           ps.Sinks,
+		DemoteFailures:  ps.DemoteFailures,
+		PromoteFailures: ps.PromoteFailures,
+		Retries:         ps.Retries,
+		Quarantined:     ps.Quarantined,
 	}
 }
 
 // FaultReport implements sim.FaultReporter: the machine's injector and
-// rollback counts plus this engine's retry/quarantine handling.
+// rollback counts plus the policy's retry/quarantine handling.
 func (e *Engine) FaultReport() chaos.Report {
 	var r chaos.Report
 	if e.m != nil {
 		r = e.m.FaultReport()
 	}
-	r.Retried = e.retries.Value()
-	r.Quarantined = e.quarantined.Value()
+	ps := e.pol.PlacementStats()
+	r.Retried = ps.Retries
+	r.Quarantined = ps.Quarantined
 	return r
 }
 
 // QuarantinedPages returns the number of pages currently serving a
-// quarantine sentence (including lazily-unexpired entries).
-func (e *Engine) QuarantinedPages() int { return len(e.quarUntil) }
+// quarantine sentence (including lazily-unexpired entries), when the
+// composed policy quarantines at all.
+func (e *Engine) QuarantinedPages() int {
+	if q, ok := e.pol.(interface{ QuarantinedPages() int }); ok {
+		return q.QuarantinedPages()
+	}
+	return 0
+}
 
 // ColdPages returns the number of huge pages currently placed in slow
 // memory by the engine.
-func (e *Engine) ColdPages() int { return len(e.cold) }
+func (e *Engine) ColdPages() int { return e.pol.ColdPages() }
 
 // IsCold implements sim.ColdChecker: it reports whether the engine has
 // classified the 2MB page at base cold (any tier below the top). The
 // telemetry layer uses it for the confusion matrix against LLC ground truth.
-func (e *Engine) IsCold(base addr.Virt) bool { return e.cold[base] }
+func (e *Engine) IsCold(base addr.Virt) bool { return e.pol.IsCold(base) }
 
-// InflightPages returns the number of huge pages currently split for
-// sampling (both pipeline cohorts).
-func (e *Engine) InflightPages() int { return len(e.splitCohort) + len(e.poisonedCohort) }
+// InflightPages returns the number of huge pages currently mid-sample, for
+// trackers with a sampling pipeline (0 for the rest).
+func (e *Engine) InflightPages() int {
+	if f, ok := e.tr.(interface{ InflightPages() int }); ok {
+		return f.InflightPages()
+	}
+	return 0
+}
 
 // LastEstimates returns the rate estimates from the most recent classify
 // scan (for inspection and the Figure 2 style analyses).
@@ -282,8 +214,7 @@ func (e *Engine) LastEstimates() []Estimate {
 	return append([]Estimate(nil), e.lastEstimates...)
 }
 
-// Tick implements sim.Policy: runs the corrector, then the current scan
-// phase of the sampling cycle.
+// Tick implements sim.Policy: one sampling period of the composition.
 func (e *Engine) Tick(m *sim.Machine, now int64) error {
 	if m != e.m {
 		return fmt.Errorf("core: engine ticked on a different machine")
@@ -293,451 +224,31 @@ func (e *Engine) Tick(m *sim.Machine, now int64) error {
 		interval = float64(e.group.Params().SamplePeriodNs) / 1e9
 	}
 
-	if err := e.correct(interval); err != nil {
+	// Correct first so mis-classified pages come back before new demotions
+	// compete for slow-tier capacity; then consume this interval's
+	// estimates, place, and arm tracking for the next interval.
+	if err := e.pol.Correct(interval); err != nil {
 		return err
 	}
-	// Pipeline order: consume this interval's fault counts (classify),
-	// then arm poisons for the next interval, then split a fresh cohort
-	// whose Accessed bits accumulate over the next interval.
-	if err := e.scanClassify(interval); err != nil {
+	ests, err := e.tr.Estimates(interval)
+	if err != nil {
 		return err
 	}
-	if err := e.scanPoison(); err != nil {
+	e.lastEstimates = ests
+	if err := e.pol.Place(ests); err != nil {
 		return err
 	}
-	if err := e.scanSplit(); err != nil {
+	if err := e.tr.Arm(); err != nil {
 		return err
 	}
+	e.pol.EndPeriod()
 	e.periods.Inc()
 	e.lastTick = now
-	return nil
-}
-
-// correct implements §3.5: measure every (non-inflight) cold page's access
-// rate from its poison-fault count and promote the hottest pages one tier
-// up until the aggregate is back under the target rate. In hierarchies
-// deeper than the paper's two tiers, it additionally sinks persistently
-// idle cold pages one tier further down.
-func (e *Engine) correct(intervalSec float64) error {
-	if e.noCorrection || len(e.cold) == 0 {
-		return nil
-	}
-	measured := make([]Measured, 0, len(e.cold))
-	for base := range e.cold {
-		if e.inflight(base) {
-			continue // being re-sampled; counted at classify
-		}
-		d := e.delta(base)
-		if e.isQuarantined(base) {
-			// The delta is still consumed, so when the sentence expires
-			// the measured rate covers one interval, not the whole bench.
-			continue
-		}
-		measured = append(measured, Measured{
-			Base: base,
-			Rate: float64(d) / intervalSec,
-		})
-	}
-	// Canonical order so equal-rate ties break deterministically (map
-	// iteration order must not leak into placement decisions).
-	sort.Slice(measured, func(i, j int) bool { return measured[i].Base < measured[j].Base })
-	target := e.group.Params().TargetSlowAccessRate()
-	promos := SelectPromotions(measured, target)
-	if rec := e.m.Recorder(); rec != nil && len(promos) > 0 {
-		rates := make(map[addr.Virt]float64, len(measured))
-		for _, c := range measured {
-			rates[c.Base] = c.Rate
-		}
-		for _, base := range promos {
-			rec.Event(telemetry.Event{
-				Kind: telemetry.KindClassified, TimeNs: e.m.Clock(),
-				Page: base, Rate: rates[base], Cold: false,
-			})
-		}
-	}
-	for _, base := range promos {
-		if err := e.promote(base); err != nil {
-			return err
-		}
-	}
-	if e.m.Memory().NumTiers() > 2 {
-		return e.sink(measured)
-	}
-	return nil
-}
-
-// sink implements the N-tier extension of the placement rule: a cold page
-// measured completely idle for sinkAfterIdleScans consecutive correction
-// passes moves one tier further down, freeing the warmer tier for pages
-// with some residual access rate. Never reached with two tiers.
-func (e *Engine) sink(measured []Measured) error {
-	for _, c := range measured {
-		if _, stillCold := e.cold[c.Base]; !stillCold {
-			continue // promoted to the top tier this pass
-		}
-		if c.Rate > 0 {
-			delete(e.idleStreak, c.Base)
-			continue
-		}
-		e.idleStreak[c.Base]++
-		if e.idleStreak[c.Base] < sinkAfterIdleScans {
-			continue
-		}
-		tier, err := e.m.Migrator().TierOfPage(c.Base)
-		if err != nil {
-			return err
-		}
-		if tier >= e.m.Memory().Bottom() {
-			continue // nowhere deeper to go
-		}
-		handled, err := e.attemptMove(c.Base, func() error {
-			_, err := e.m.Demote(c.Base)
-			return err
-		})
-		if err != nil {
-			return err
-		}
-		if handled {
-			e.demoteFailures.Inc()
-			continue
-		}
-		e.idleStreak[c.Base] = 0
-		e.snapshot(c.Base)
-		e.sinks.Inc()
-	}
-	return nil
-}
-
-// promote moves a cold huge page one tier up the hierarchy. A page
-// reaching the top (fast) tier stops being monitored; in deeper
-// hierarchies a page promoted into an intermediate tier stays in the cold
-// set and keeps its poison-based monitoring. Failures take the same
-// retry/quarantine path as demotions — a full fast tier degrades the
-// correction, it no longer kills the run.
-func (e *Engine) promote(base addr.Virt) error {
-	handled, err := e.attemptMove(base, func() error {
-		_, err := e.m.Promote(base)
-		return err
-	})
-	if err != nil {
-		return err
-	}
-	if handled {
-		e.promoteFailures.Inc()
-		return nil
-	}
-	e.promotions.Inc()
-	if tier, err := e.m.Migrator().TierOfPage(base); err == nil && tier != mem.Fast {
-		e.snapshot(base)
-		return nil
-	}
-	delete(e.cold, base)
-	delete(e.idleStreak, base)
-	return nil
-}
-
-// quarantine benches base for quarantinePeriods sampling periods: no
-// placement decision (demote, promote, sink) will touch it until the
-// sentence expires.
-func (e *Engine) quarantine(base addr.Virt) {
-	e.quarUntil[base] = e.periods.Value() + e.quarantinePeriods
-	e.quarantined.Inc()
-}
-
-// isQuarantined reports whether base is still benched; expired sentences are
-// dropped lazily.
-func (e *Engine) isQuarantined(base addr.Virt) bool {
-	until, ok := e.quarUntil[base]
-	if !ok {
-		return false
-	}
-	if e.periods.Value() >= until {
-		delete(e.quarUntil, base)
-		return false
-	}
-	return true
-}
-
-// attemptMove runs op — one demote or promote of base — under the retry
-// policy: up to maxAttempts tries, with exponential backoff charged as
-// daemon time (the kthread burning virtual CPU off the critical path, like
-// the kernel's migrate_pages retry loop). Retryable failures are simulated
-// destination pressure (mem.ErrOutOfMemory) and injected transient faults;
-// anything else is a programming error and propagates. A permanent fault, or
-// attempts running out, quarantines the page and returns handled=true — the
-// caller records the failure and moves on instead of killing the run.
-func (e *Engine) attemptMove(base addr.Virt, op func() error) (handled bool, err error) {
-	backoff := e.backoffBaseNs
-	for attempt := 1; ; attempt++ {
-		err := op()
-		if err == nil {
-			return false, nil
-		}
-		fault, injected := chaos.AsFault(err)
-		if injected {
-			if rec := e.m.Recorder(); rec != nil {
-				rec.Event(telemetry.Event{
-					Kind: telemetry.KindChaosFault, TimeNs: e.m.Clock(),
-					Page: base, Count: uint64(attempt),
-					Site: uint8(fault.Site), Permanent: fault.Permanent,
-				})
-			}
-		}
-		if !injected && !errors.Is(err, mem.ErrOutOfMemory) {
-			return false, err
-		}
-		if (injected && fault.Permanent) || attempt >= e.maxAttempts {
-			e.quarantine(base)
-			return true, nil
-		}
-		e.retries.Inc()
-		e.m.ChargeDaemon(backoff)
-		backoff *= 2
-	}
-}
-
-// inflight reports whether base is in either sampling cohort.
-func (e *Engine) inflight(base addr.Virt) bool {
-	if _, ok := e.splitCohort[base]; ok {
-		return true
-	}
-	_, ok := e.poisonedCohort[base]
-	return ok
-}
-
-// scanSplit selects a random sampleFraction of all huge pages — hot or cold,
-// the sampler is agnostic (§3.2) — and splits them so their 4KB children can
-// be profiled individually. Pages already mid-pipeline are excluded.
-func (e *Engine) scanSplit() error {
-	pt := e.m.PageTable()
-	ranges := e.scopeRanges()
-	var candidates []addr.Virt
-	pt.Scan(func(base addr.Virt, entry *pagetable.Entry, lvl pagetable.Level) {
-		if lvl == pagetable.Level2M && !e.inflight(base) && e.inScope(base, ranges) {
-			candidates = append(candidates, base)
-		}
-	})
-	var daemon int64 = int64(len(candidates)) * perLeafScanNs
-	if len(candidates) == 0 {
-		e.m.ChargeDaemon(daemon)
-		return nil
-	}
-	f := e.group.Params().SampleFraction
-	n := int(f * float64(len(candidates)))
-	if n < 1 {
-		n = 1
-	}
-	rec := e.m.Recorder()
-	for _, idx := range e.r.Sample(len(candidates), n) {
-		base := candidates[idx]
-		if err := pt.Split(base); err != nil {
-			return fmt.Errorf("core: split %s: %w", base, err)
-		}
-		// Splitting replaced the 2MB translation with 4KB ones; drop the
-		// stale huge-grain TLB entry.
-		e.m.TLB().Invalidate(base, e.m.VPID())
-		e.splitCohort[base] = &sample{base: base, wasCold: e.cold[base]}
-		e.sampled.Inc()
-		if rec != nil {
-			rec.Event(telemetry.Event{
-				Kind: telemetry.KindHugePageSplit, TimeNs: e.m.Clock(), Page: base,
-			})
-			rec.Event(telemetry.Event{
-				Kind: telemetry.KindPageSampled, TimeNs: e.m.Clock(),
-				Page: base, Cold: e.cold[base],
-			})
-		}
-		daemon += splitCostNs
-	}
-	e.m.ChargeDaemon(daemon)
-	return nil
-}
-
-// scanPoison runs the §3.2 two-step refinement for each sampled page: read
-// the hardware-maintained Accessed bits of all 512 children to find those
-// with non-zero access rate, then poison a random subset of at most K of
-// them for precise fault-based counting.
-//
-// Pages that were already cold need no subset selection: their children
-// inherited the poison bit from the cold page's PMD at split time, so every
-// access is already being counted.
-func (e *Engine) scanPoison() error {
-	trap := e.m.Trap()
-	k := e.group.Params().MaxPoisonPerHuge
-	var daemon int64
-	for _, s := range e.splitCohort {
-		daemon += int64(addr.PagesPerHuge) * perLeafScanNs
-		if s.wasCold {
-			s.nAccessed = addr.PagesPerHuge
-			s.poisoned = nil // estimate uses the whole-region fault count
-			// Counting starts now: absorb events from the split interval.
-			for i := 0; i < addr.PagesPerHuge; i++ {
-				e.snapshot(s.base + addr.Virt(uint64(i)*addr.PageSize4K))
-			}
-			continue
-		}
-		var accessed []int
-		if e.noPrefilter {
-			// Naive strategy (ablation): all children are candidates and
-			// the estimate scales by the full 512.
-			accessed = make([]int, addr.PagesPerHuge)
-			for i := range accessed {
-				accessed[i] = i
-			}
-		} else {
-			accessed = kstaled.AccessedSubpages(e.m.PageTable(), s.base)
-		}
-		s.nAccessed = len(accessed)
-		if s.nAccessed == 0 {
-			continue
-		}
-		nPoison := k
-		if nPoison > s.nAccessed {
-			nPoison = s.nAccessed
-		}
-		for _, pick := range e.r.Sample(s.nAccessed, nPoison) {
-			child := s.base + addr.Virt(uint64(accessed[pick])*addr.PageSize4K)
-			if err := trap.Poison(child, e.m.VPID()); err != nil {
-				return err
-			}
-			e.snapshot(child)
-			s.poisoned = append(s.poisoned, child)
-			daemon += poisonCostNs
-		}
-	}
-	// Advance the cohort down the pipeline.
-	for base, s := range e.splitCohort {
-		e.poisonedCohort[base] = s
-	}
-	e.splitCohort = make(map[addr.Virt]*sample)
-	e.m.ChargeDaemon(daemon)
-	return nil
-}
-
-// scanClassify estimates each sampled page's access rate, places the coldest
-// sampled pages into slow memory under the fraction-scaled budget (§3.4),
-// and restores every sampled page to a huge mapping.
-func (e *Engine) scanClassify(intervalSec float64) error {
-	p := e.group.Params()
-
-	var fastEsts []Estimate
-	var daemon int64
-	for _, s := range e.poisonedCohort {
-		var rate float64
-		if s.wasCold {
-			// Whole region was poisoned: total faults are the estimate.
-			var faults uint64
-			for i := 0; i < addr.PagesPerHuge; i++ {
-				faults += e.delta(s.base + addr.Virt(uint64(i)*addr.PageSize4K))
-			}
-			rate = float64(faults) / intervalSec
-		} else {
-			var faults uint64
-			for _, child := range s.poisoned {
-				faults += e.delta(child)
-			}
-			rate = ScaleEstimate(faults, intervalSec, s.nAccessed, len(s.poisoned))
-			fastEsts = append(fastEsts, Estimate{Base: s.base, Rate: rate})
-		}
-		daemon += int64(addr.PagesPerHuge) * perLeafScanNs
-	}
-	sort.Slice(fastEsts, func(i, j int) bool { return fastEsts[i].Base < fastEsts[j].Base })
-	e.lastEstimates = fastEsts
-
-	// Restore all sampled pages to huge mappings.
-	for _, s := range e.poisonedCohort {
-		if err := e.restore(s); err != nil {
-			return err
-		}
-		daemon += collapseCostNs
-	}
-
-	// Demote the coldest of this period's fast-tier samples. Quarantined
-	// pages are not placement candidates while their sentence runs.
-	budget := p.SampleFraction * p.TargetSlowAccessRate()
-	eligible := fastEsts
-	if len(e.quarUntil) > 0 {
-		eligible = make([]Estimate, 0, len(fastEsts))
-		for _, est := range fastEsts {
-			if !e.isQuarantined(est.Base) {
-				eligible = append(eligible, est)
-			}
-		}
-	}
-	coldSet := SelectColdSet(eligible, budget)
-	if rec := e.m.Recorder(); rec != nil && len(fastEsts) > 0 {
-		chosen := make(map[addr.Virt]bool, len(coldSet))
-		for _, base := range coldSet {
-			chosen[base] = true
-		}
-		for _, est := range fastEsts {
-			rec.Event(telemetry.Event{
-				Kind: telemetry.KindClassified, TimeNs: e.m.Clock(),
-				Page: est.Base, Rate: est.Rate, Cold: chosen[est.Base],
-			})
-		}
-	}
-	for _, base := range coldSet {
-		if err := e.demote(base); err != nil {
-			return err
-		}
-	}
-	e.poisonedCohort = make(map[addr.Virt]*sample)
-	e.m.ChargeDaemon(daemon)
-	return nil
-}
-
-// restore collapses a sampled page back to a 2MB mapping, clearing child
-// poisons first and re-arming PMD-grain monitoring if the page is cold.
-func (e *Engine) restore(s *sample) error {
-	pt := e.m.PageTable()
-	region := addr.NewRange(s.base, addr.PageSize2M)
-	if n := pt.ClearFlagsRange(region, pagetable.Poisoned); n != addr.PagesPerHuge {
-		return fmt.Errorf("core: sampled children of %s vanished (%d of %d left)",
-			s.base, n, addr.PagesPerHuge)
-	}
-	if err := pt.Collapse(s.base); err != nil {
-		return fmt.Errorf("core: collapse %s: %w", s.base, err)
-	}
-	e.m.TLB().Invalidate(s.base, e.m.VPID())
-	if rec := e.m.Recorder(); rec != nil {
-		rec.Event(telemetry.Event{
-			Kind: telemetry.KindHugePageCollapse, TimeNs: e.m.Clock(), Page: s.base,
-		})
-	}
-	if e.cold[s.base] {
-		if err := e.m.Trap().Poison(s.base, e.m.VPID()); err != nil {
-			return err
-		}
-		e.snapshot(s.base)
-	}
-	return nil
-}
-
-// demote moves a classified-cold huge page to slow memory; the machine arms
-// PMD-grain monitoring (which doubles as the slow-memory emulation).
-// Failures — destination pressure or injected faults — are retried and then
-// quarantined rather than aborting the run.
-func (e *Engine) demote(base addr.Virt) error {
-	handled, err := e.attemptMove(base, func() error {
-		_, err := e.m.Demote(base)
-		return err
-	})
-	if err != nil {
-		return err
-	}
-	if handled {
-		e.demoteFailures.Inc()
-		return nil
-	}
-	e.snapshot(base)
-	e.cold[base] = true
-	e.demotions.Inc()
 	return nil
 }
 
 // Footprint implements sim.Policy: classify every mapped leaf by backing
 // tier and grain.
 func (e *Engine) Footprint(m *sim.Machine) sim.Footprint {
-	return sim.ScanFootprint(m, e.scopeRanges())
+	return e.pol.Footprint(m)
 }

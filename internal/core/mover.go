@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/chaos"
+	"thermostat/internal/mem"
+	"thermostat/internal/sim"
+	"thermostat/internal/stats"
+	"thermostat/internal/telemetry"
+)
+
+// Default migration retry policy. Backoff doubles per attempt: 50µs, 100µs.
+const (
+	defaultMaxAttempts       = 3
+	defaultBackoffBaseNs     = 50_000
+	defaultQuarantinePeriods = 5
+)
+
+// mover is the migration machinery shared by placement policies: every move
+// goes through the retry/backoff/quarantine protocol, and the mover owns
+// the lifetime placement counters (PlacementStats).
+type mover struct {
+	m *sim.Machine
+
+	// Migration retry policy: failed moves are retried up to maxAttempts
+	// with exponential backoff (charged as daemon time in virtual ns);
+	// pages that fail permanently, or keep failing, are quarantined —
+	// skipped for quarantinePeriods sampling periods — instead of killing
+	// the run.
+	maxAttempts       int
+	backoffBaseNs     int64
+	quarantinePeriods uint64
+	// quarUntil maps a quarantined page to the period count at which it
+	// becomes eligible again; entries expire lazily.
+	quarUntil map[addr.Virt]uint64
+
+	// periods counts completed sampling periods; quarantine sentences are
+	// measured against it.
+	periods stats.Counter
+
+	demotions       stats.Counter
+	promotions      stats.Counter
+	sinks           stats.Counter
+	demoteFailures  stats.Counter
+	promoteFailures stats.Counter
+	retries         stats.Counter
+	quarantined     stats.Counter
+}
+
+// newMover returns a mover with the default retry policy.
+func newMover() mover {
+	return mover{
+		maxAttempts:       defaultMaxAttempts,
+		backoffBaseNs:     defaultBackoffBaseNs,
+		quarantinePeriods: defaultQuarantinePeriods,
+		quarUntil:         make(map[addr.Virt]uint64),
+	}
+}
+
+// setRetryPolicy overrides the migration retry/quarantine parameters.
+// maxAttempts < 1 is clamped to 1.
+func (v *mover) setRetryPolicy(maxAttempts int, backoffBaseNs int64, quarantinePeriods uint64) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	v.maxAttempts = maxAttempts
+	v.backoffBaseNs = backoffBaseNs
+	v.quarantinePeriods = quarantinePeriods
+}
+
+// endPeriod advances the quarantine clock by one sampling period.
+func (v *mover) endPeriod() { v.periods.Inc() }
+
+// stats snapshots the lifetime placement counters.
+func (v *mover) stats() PlacementStats {
+	return PlacementStats{
+		Demotions:       v.demotions.Value(),
+		Promotions:      v.promotions.Value(),
+		Sinks:           v.sinks.Value(),
+		DemoteFailures:  v.demoteFailures.Value(),
+		PromoteFailures: v.promoteFailures.Value(),
+		Retries:         v.retries.Value(),
+		Quarantined:     v.quarantined.Value(),
+	}
+}
+
+// quarantine benches base for quarantinePeriods sampling periods: no
+// placement decision (demote, promote, sink) will touch it until the
+// sentence expires.
+func (v *mover) quarantine(base addr.Virt) {
+	v.quarUntil[base] = v.periods.Value() + v.quarantinePeriods
+	v.quarantined.Inc()
+}
+
+// isQuarantined reports whether base is still benched; expired sentences are
+// dropped lazily.
+func (v *mover) isQuarantined(base addr.Virt) bool {
+	until, ok := v.quarUntil[base]
+	if !ok {
+		return false
+	}
+	if v.periods.Value() >= until {
+		delete(v.quarUntil, base)
+		return false
+	}
+	return true
+}
+
+// attemptMove runs op — one demote or promote of base — under the retry
+// policy: up to maxAttempts tries, with exponential backoff charged as
+// daemon time (the kthread burning virtual CPU off the critical path, like
+// the kernel's migrate_pages retry loop). Retryable failures are simulated
+// destination pressure (mem.ErrOutOfMemory) and injected transient faults;
+// anything else is a programming error and propagates. A permanent fault, or
+// attempts running out, quarantines the page and returns handled=true — the
+// caller records the failure and moves on instead of killing the run.
+func (v *mover) attemptMove(base addr.Virt, op func() error) (handled bool, err error) {
+	backoff := v.backoffBaseNs
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil {
+			return false, nil
+		}
+		fault, injected := chaos.AsFault(err)
+		if injected {
+			if rec := v.m.Recorder(); rec != nil {
+				rec.Event(telemetry.Event{
+					Kind: telemetry.KindChaosFault, TimeNs: v.m.Clock(),
+					Page: base, Count: uint64(attempt),
+					Site: uint8(fault.Site), Permanent: fault.Permanent,
+				})
+			}
+		}
+		if !injected && !errors.Is(err, mem.ErrOutOfMemory) {
+			return false, err
+		}
+		if (injected && fault.Permanent) || attempt >= v.maxAttempts {
+			v.quarantine(base)
+			return true, nil
+		}
+		v.retries.Inc()
+		v.m.ChargeDaemon(backoff)
+		backoff *= 2
+	}
+}

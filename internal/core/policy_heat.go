@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/cgroup"
+	"thermostat/internal/mem"
+	"thermostat/internal/sim"
+	"thermostat/internal/telemetry"
+)
+
+// Heat policy defaults, as fractions of the cgroup's target slow-access
+// rate. With the default half-life (two sampling periods) a steady access
+// rate r settles at heat ≈ 3.4·r, so the promotion watermark (1.0·target)
+// fires for cold pages sustaining roughly 0.3·target and the demotion
+// watermark (0.1·target) catches top-tier pages below roughly 0.03·target.
+const (
+	defaultPromoteFraction = 1.0
+	defaultDemoteFraction  = 0.1
+	defaultHalfLifePeriods = 2
+	// maxHeatFactor bounds accumulated heat at this multiple of the
+	// target rate — the "heat is bounded" invariant.
+	maxHeatFactor = 1000
+)
+
+// HeatPolicy is an age/heat placement rule in the memtierd style: every
+// page carries a heat score that decays exponentially with idle time and is
+// recharged by measured access rate, and placement is hysteresis between
+// two watermarks — cold pages whose heat climbs above the promotion
+// watermark come up, top-tier pages whose heat decays below the (strictly
+// lower) demotion watermark go down. The watermark gap plus a
+// moved-this-tick guard guarantee a page never promotes and demotes within
+// one sampling period.
+//
+// Unlike the threshold policy it needs no aggregate rate budget, so it
+// composes with binary trackers (idlebit, softdirty) whose rate ladders
+// would make a cumulative budget mostly meaningless.
+type HeatPolicy struct {
+	group *cgroup.Group
+	m     *sim.Machine
+	tr    Tracker
+
+	// PromoteFraction and DemoteFraction position the watermarks as
+	// fractions of the target slow-access rate; PromoteFraction must stay
+	// strictly above DemoteFraction (hysteresis). Zero values select the
+	// defaults at Attach.
+	PromoteFraction float64
+	DemoteFraction  float64
+	// HalfLifeNs is the heat half-life; zero selects two sampling periods
+	// at Attach.
+	HalfLifeNs int64
+
+	heat map[addr.Virt]float64
+	cold map[addr.Virt]bool
+
+	// moved guards single-tick oscillation: a page migrated in this
+	// tick's Correct phase is not a candidate in its Place phase (and
+	// vice versa). Cleared in EndPeriod.
+	moved map[addr.Virt]bool
+
+	scope func() []addr.Range
+
+	// lastInterval carries the tick's measurement interval from Correct
+	// (which receives it) to Place (which does not).
+	lastInterval float64
+
+	mv mover
+}
+
+// NewHeatPolicy builds the heat policy with default watermarks.
+func NewHeatPolicy() *HeatPolicy {
+	return &HeatPolicy{
+		heat:  make(map[addr.Virt]float64),
+		cold:  make(map[addr.Virt]bool),
+		moved: make(map[addr.Virt]bool),
+		mv:    newMover(),
+	}
+}
+
+// Name implements Policy.
+func (p *HeatPolicy) Name() string { return "heat" }
+
+// Attach implements Policy.
+func (p *HeatPolicy) Attach(m *sim.Machine, g *cgroup.Group, tr Tracker) error {
+	p.m = m
+	p.group = g
+	p.tr = tr
+	p.mv.m = m
+	if p.PromoteFraction == 0 {
+		p.PromoteFraction = defaultPromoteFraction
+	}
+	if p.DemoteFraction == 0 {
+		p.DemoteFraction = defaultDemoteFraction
+	}
+	if p.HalfLifeNs == 0 {
+		p.HalfLifeNs = defaultHalfLifePeriods * g.Params().SamplePeriodNs
+	}
+	if p.PromoteFraction <= p.DemoteFraction {
+		return fmt.Errorf("core: heat policy watermarks inverted (promote %.3g ≤ demote %.3g)",
+			p.PromoteFraction, p.DemoteFraction)
+	}
+	return nil
+}
+
+// SetScope implements Policy.
+func (p *HeatPolicy) SetScope(provider func() []addr.Range) { p.scope = provider }
+
+// SetRetryPolicy overrides the migration retry/quarantine parameters.
+func (p *HeatPolicy) SetRetryPolicy(maxAttempts int, backoffBaseNs int64, quarantinePeriods uint64) {
+	p.mv.setRetryPolicy(maxAttempts, backoffBaseNs, quarantinePeriods)
+}
+
+// IsCold implements Policy.
+func (p *HeatPolicy) IsCold(base addr.Virt) bool { return p.cold[base] }
+
+// ColdPages implements Policy.
+func (p *HeatPolicy) ColdPages() int { return len(p.cold) }
+
+// QuarantinedPages returns the pages currently serving a quarantine
+// sentence.
+func (p *HeatPolicy) QuarantinedPages() int { return len(p.mv.quarUntil) }
+
+// PlacementStats implements Policy.
+func (p *HeatPolicy) PlacementStats() PlacementStats { return p.mv.stats() }
+
+// EndPeriod implements Policy.
+func (p *HeatPolicy) EndPeriod() {
+	p.mv.endPeriod()
+	p.moved = make(map[addr.Virt]bool)
+}
+
+// Footprint implements Policy.
+func (p *HeatPolicy) Footprint(m *sim.Machine) sim.Footprint {
+	return sim.ScanFootprint(m, scopeRangesOf(p.scope))
+}
+
+// Heat returns the page's current heat score (for inspection and tests).
+func (p *HeatPolicy) Heat(base addr.Virt) float64 { return p.heat[base] }
+
+// maxHeat bounds the accumulated score.
+func (p *HeatPolicy) maxHeat() float64 {
+	return maxHeatFactor * p.group.Params().TargetSlowAccessRate()
+}
+
+// DecayFactor returns the multiplicative heat decay over an idle stretch of
+// dtSec seconds: 2^(-dt/halfLife). It is monotonically non-increasing in
+// dtSec and never exceeds 1.
+func (p *HeatPolicy) DecayFactor(dtSec float64) float64 {
+	if dtSec <= 0 {
+		return 1
+	}
+	half := float64(p.HalfLifeNs) / 1e9
+	if half <= 0 {
+		return 0
+	}
+	return math.Exp2(-dtSec / half)
+}
+
+// bump applies one interval's measurement to a page's heat: decay the old
+// score over the interval, add the measured rate, clamp to the bound.
+func (p *HeatPolicy) bump(base addr.Virt, rate, dtSec float64) {
+	h := p.heat[base]*p.DecayFactor(dtSec) + rate
+	if max := p.maxHeat(); h > max {
+		h = max
+	}
+	p.heat[base] = h
+}
+
+// watermarks resolves the current promotion/demotion heat thresholds.
+func (p *HeatPolicy) watermarks() (promote, demote float64) {
+	target := p.group.Params().TargetSlowAccessRate()
+	return p.PromoteFraction * target, p.DemoteFraction * target
+}
+
+// Correct implements Policy: measure the cold set, recharge heats, and
+// promote pages whose heat crossed the promotion watermark — hottest
+// first, so a full top tier serves the strongest candidates.
+func (p *HeatPolicy) Correct(intervalSec float64) error {
+	p.lastInterval = intervalSec
+	if len(p.cold) == 0 {
+		return nil
+	}
+	measured := p.tr.MeasureCold(sortedColdSet(p.cold), intervalSec)
+	promoteWM, _ := p.watermarks()
+	var cands []Measured
+	for _, c := range measured {
+		p.bump(c.Base, c.Rate, intervalSec)
+		if p.mv.isQuarantined(c.Base) || p.moved[c.Base] {
+			continue
+		}
+		if p.heat[c.Base] >= promoteWM {
+			cands = append(cands, Measured{Base: c.Base, Rate: p.heat[c.Base]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Rate != cands[j].Rate {
+			return cands[i].Rate > cands[j].Rate
+		}
+		return cands[i].Base < cands[j].Base
+	})
+	if rec := p.m.Recorder(); rec != nil {
+		for _, c := range cands {
+			rec.Event(telemetry.Event{
+				Kind: telemetry.KindClassified, TimeNs: p.m.Clock(),
+				Page: c.Base, Rate: c.Rate, Cold: false,
+			})
+		}
+	}
+	for _, c := range cands {
+		if err := p.promote(c.Base); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promote moves a cold page one tier up; reaching the top tier removes it
+// from the cold set, an intermediate stop keeps it monitored.
+func (p *HeatPolicy) promote(base addr.Virt) error {
+	handled, err := p.mv.attemptMove(base, func() error {
+		_, err := p.m.Promote(base)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if handled {
+		p.mv.promoteFailures.Inc()
+		return nil
+	}
+	p.mv.promotions.Inc()
+	p.moved[base] = true
+	if tier, err := p.m.Migrator().TierOfPage(base); err == nil && tier != mem.Fast {
+		p.tr.NotePlaced(base)
+		return nil
+	}
+	delete(p.cold, base)
+	return nil
+}
+
+// Place implements Policy: recharge top-tier heats from this interval's
+// estimates and demote pages whose heat decayed below the demotion
+// watermark — coldest first. Pages promoted earlier this tick are immune
+// (no single-tick oscillation), as are quarantined pages.
+func (p *HeatPolicy) Place(ests []Estimate) error {
+	dt := p.lastInterval
+	if dt <= 0 {
+		dt = float64(p.group.Params().SamplePeriodNs) / 1e9
+	}
+	_, demoteWM := p.watermarks()
+	var cands []Estimate
+	for _, est := range ests {
+		p.bump(est.Base, est.Rate, dt)
+		if p.cold[est.Base] || p.moved[est.Base] || p.mv.isQuarantined(est.Base) {
+			continue
+		}
+		if p.heat[est.Base] <= demoteWM {
+			cands = append(cands, Estimate{Base: est.Base, Rate: p.heat[est.Base]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Rate != cands[j].Rate {
+			return cands[i].Rate < cands[j].Rate
+		}
+		return cands[i].Base < cands[j].Base
+	})
+	if rec := p.m.Recorder(); rec != nil && len(ests) > 0 {
+		chosen := make(map[addr.Virt]bool, len(cands))
+		for _, c := range cands {
+			chosen[c.Base] = true
+		}
+		for _, est := range ests {
+			rec.Event(telemetry.Event{
+				Kind: telemetry.KindClassified, TimeNs: p.m.Clock(),
+				Page: est.Base, Rate: est.Rate, Cold: chosen[est.Base],
+			})
+		}
+	}
+	for _, c := range cands {
+		if err := p.demote(c.Base); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// demote moves a top-tier page one tier down.
+func (p *HeatPolicy) demote(base addr.Virt) error {
+	handled, err := p.mv.attemptMove(base, func() error {
+		_, err := p.m.Demote(base)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if handled {
+		p.mv.demoteFailures.Inc()
+		return nil
+	}
+	p.tr.NotePlaced(base)
+	p.cold[base] = true
+	p.moved[base] = true
+	p.mv.demotions.Inc()
+	return nil
+}

@@ -17,6 +17,7 @@ func TestAttemptMoveUniformHandling(t *testing.T) {
 	m := testMachine(t)
 	g := testGroup(t, nil)
 	eng := NewEngine(g, 9)
+	mv := &eng.pol.(*ThresholdPolicy).mv
 	if err := eng.Attach(m); err != nil {
 		t.Fatal(err)
 	}
@@ -26,21 +27,21 @@ func TestAttemptMoveUniformHandling(t *testing.T) {
 	// Plain OOM: retried to exhaustion with backoff, then quarantined —
 	// never fatal, for demote and promote alike.
 	calls := 0
-	handled, err := eng.attemptMove(base, func() error { calls++; return mem.ErrOutOfMemory })
+	handled, err := mv.attemptMove(base, func() error { calls++; return mem.ErrOutOfMemory })
 	if !handled || err != nil {
 		t.Fatalf("OOM exhaustion: handled=%v err=%v", handled, err)
 	}
 	if calls != defaultMaxAttempts {
 		t.Errorf("OOM attempted %d times, want %d", calls, defaultMaxAttempts)
 	}
-	if !eng.isQuarantined(base) {
+	if !mv.isQuarantined(base) {
 		t.Error("exhausted page not quarantined")
 	}
 
 	// Transient injected fault: one retry, then success — no quarantine.
 	transient := next()
 	calls = 0
-	handled, err = eng.attemptMove(transient, func() error {
+	handled, err = mv.attemptMove(transient, func() error {
 		calls++
 		if calls == 1 {
 			return &chaos.Fault{Site: chaos.MigrateCopy}
@@ -50,28 +51,28 @@ func TestAttemptMoveUniformHandling(t *testing.T) {
 	if handled || err != nil || calls != 2 {
 		t.Fatalf("transient fault: handled=%v err=%v calls=%d", handled, err, calls)
 	}
-	if eng.isQuarantined(transient) {
+	if mv.isQuarantined(transient) {
 		t.Error("recovered page wrongly quarantined")
 	}
 
 	// Permanent injected fault: immediate quarantine, no further attempts.
 	perm := next()
 	calls = 0
-	handled, err = eng.attemptMove(perm, func() error {
+	handled, err = mv.attemptMove(perm, func() error {
 		calls++
 		return &chaos.Fault{Site: chaos.MigrateCopy, Permanent: true}
 	})
 	if !handled || err != nil || calls != 1 {
 		t.Fatalf("permanent fault: handled=%v err=%v calls=%d", handled, err, calls)
 	}
-	if !eng.isQuarantined(perm) {
+	if !mv.isQuarantined(perm) {
 		t.Error("permanently failed page not quarantined")
 	}
 
 	// Non-injected, non-OOM errors stay fatal: real bugs must not be
 	// absorbed by the degradation machinery.
 	boom := errors.New("boom")
-	handled, err = eng.attemptMove(next(), func() error { return boom })
+	handled, err = mv.attemptMove(next(), func() error { return boom })
 	if handled || !errors.Is(err, boom) {
 		t.Fatalf("fatal error swallowed: handled=%v err=%v", handled, err)
 	}
@@ -97,21 +98,22 @@ func TestQuarantineExpires(t *testing.T) {
 	m := testMachine(t)
 	g := testGroup(t, nil)
 	eng := NewEngine(g, 10)
+	mv := &eng.pol.(*ThresholdPolicy).mv
 	if err := eng.Attach(m); err != nil {
 		t.Fatal(err)
 	}
 	base := addr.Virt(1 << 40)
-	eng.quarantine(base)
-	if !eng.isQuarantined(base) {
+	mv.quarantine(base)
+	if !mv.isQuarantined(base) {
 		t.Fatal("fresh quarantine not in effect")
 	}
 	if eng.QuarantinedPages() != 1 {
 		t.Fatalf("QuarantinedPages = %d", eng.QuarantinedPages())
 	}
-	for i := uint64(0); i < eng.quarantinePeriods; i++ {
-		eng.periods.Inc()
+	for i := uint64(0); i < mv.quarantinePeriods; i++ {
+		mv.periods.Inc()
 	}
-	if eng.isQuarantined(base) {
+	if mv.isQuarantined(base) {
 		t.Error("quarantine outlived its sentence")
 	}
 	if eng.QuarantinedPages() != 0 {

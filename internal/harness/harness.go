@@ -217,6 +217,48 @@ func RunThermostatWith(spec workload.Spec, sc Scale, slowdownPct float64,
 		Result: res, Faults: eng.FaultReport()}, nil
 }
 
+// RunComposed runs spec under an arbitrary tracker × policy composition
+// (see core.TrackerNames / core.PolicyNames) at the given slowdown target.
+func RunComposed(spec workload.Spec, sc Scale, tracker, policy string, slowdownPct float64) (*Outcome, error) {
+	return RunComposedWith(spec, sc, tracker, policy, slowdownPct, nil)
+}
+
+// RunComposedWith is RunComposed with a machine-config hook.
+func RunComposedWith(spec workload.Spec, sc Scale, tracker, policy string, slowdownPct float64,
+	cfgMutate func(*sim.Config)) (*Outcome, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := sc.MachineConfig(spec, true)
+	if cfgMutate != nil {
+		cfgMutate(&cfg)
+	}
+	m, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	app, err := sc.NewApp(spec, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g, err := sc.Group(slowdownPct)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.ComposeByName(g, tracker, policy, sc.Seed+0x7e)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(m, app, eng, sim.RunConfig{
+		DurationNs: sc.DurationNs, WarmupNs: sc.WarmupNs, WindowNs: sc.PeriodNs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s under %s: %w", spec.Name, eng.Name(), err)
+	}
+	return &Outcome{Spec: spec, Scale: sc, Machine: m, App: app, Engine: eng,
+		Result: res, Faults: eng.FaultReport()}, nil
+}
+
 // RunBaseline runs spec with everything in fast memory (all-DRAM).
 func RunBaseline(spec workload.Spec, sc Scale) (*Outcome, error) {
 	return runWithPolicy(spec, sc, sim.NullPolicy{Interval: sc.PeriodNs}, true, nil)

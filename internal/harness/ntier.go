@@ -7,6 +7,7 @@ package harness
 import (
 	"fmt"
 
+	"thermostat/internal/cgroup"
 	"thermostat/internal/core"
 	"thermostat/internal/mem"
 	"thermostat/internal/pool"
@@ -65,6 +66,22 @@ func (s Scale) TieredMachineConfig(spec workload.Spec, tiers []mem.Spec) sim.Con
 // (cold pages sink one tier at a time, reheated pages climb back), so no
 // policy changes are needed — only the machine differs from RunThermostat.
 func RunNTier(spec workload.Spec, sc Scale, tiers []mem.Spec, slowdownPct float64) (*Outcome, error) {
+	return runNTierEngine(spec, sc, tiers, slowdownPct, func(g *cgroup.Group) (*core.Engine, error) {
+		return core.NewEngine(g, sc.Seed+0x7e), nil
+	})
+}
+
+// RunNTierComposed is RunNTier with an arbitrary tracker × policy
+// composition in place of the paper's engine.
+func RunNTierComposed(spec workload.Spec, sc Scale, tiers []mem.Spec,
+	tracker, policy string, slowdownPct float64) (*Outcome, error) {
+	return runNTierEngine(spec, sc, tiers, slowdownPct, func(g *cgroup.Group) (*core.Engine, error) {
+		return core.ComposeByName(g, tracker, policy, sc.Seed+0x7e)
+	})
+}
+
+func runNTierEngine(spec workload.Spec, sc Scale, tiers []mem.Spec, slowdownPct float64,
+	build func(*cgroup.Group) (*core.Engine, error)) (*Outcome, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,7 +101,10 @@ func RunNTier(spec workload.Spec, sc Scale, tiers []mem.Spec, slowdownPct float6
 	if err != nil {
 		return nil, err
 	}
-	eng := core.NewEngine(g, sc.Seed+0x7e)
+	eng, err := build(g)
+	if err != nil {
+		return nil, err
+	}
 	res, err := sim.Run(m, app, eng, sim.RunConfig{
 		DurationNs: sc.DurationNs, WarmupNs: sc.WarmupNs, WindowNs: sc.PeriodNs,
 	})

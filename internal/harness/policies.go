@@ -35,11 +35,7 @@ func (p *scanOnly) Tick(m *sim.Machine, now int64) error {
 }
 
 func (p *scanOnly) Footprint(m *sim.Machine) sim.Footprint {
-	pt := m.PageTable()
-	return sim.Footprint{
-		Hot2M: uint64(pt.Count2M()) * addr.PageSize2M,
-		Hot4K: uint64(pt.Count4K()) * addr.PageSize4K,
-	}
+	return sim.AllHotFootprint(m.PageTable())
 }
 
 // splitScan is the Figure 2 instrument: it splits every huge page at attach
@@ -81,9 +77,5 @@ func (p *splitScan) Tick(m *sim.Machine, now int64) error {
 }
 
 func (p *splitScan) Footprint(m *sim.Machine) sim.Footprint {
-	pt := m.PageTable()
-	return sim.Footprint{
-		Hot2M: uint64(pt.Count2M()) * addr.PageSize2M,
-		Hot4K: uint64(pt.Count4K()) * addr.PageSize4K,
-	}
+	return sim.AllHotFootprint(m.PageTable())
 }

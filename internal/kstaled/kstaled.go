@@ -40,19 +40,33 @@ type Scanner struct {
 	tl   *tlb.TLB
 	vpid tlb.VPID
 
+	// flag is the leaf bit the scanner reads and clears each pass:
+	// Accessed for classic kstaled idle tracking, Dirty for soft-dirty
+	// write tracking.
+	flag pagetable.Flags
+
 	state map[addr.Virt]*PageState
 
 	scans       stats.Counter
 	entryCostNs int64
 }
 
-// New builds a scanner. entryCostNs <= 0 selects DefaultEntryCostNs.
+// New builds a scanner over the Accessed bit. entryCostNs <= 0 selects
+// DefaultEntryCostNs.
 func New(pt *pagetable.Table, tl *tlb.TLB, vpid tlb.VPID, entryCostNs int64) *Scanner {
+	return NewWithFlag(pt, tl, vpid, entryCostNs, pagetable.Accessed)
+}
+
+// NewWithFlag builds a scanner that tracks the given leaf flag instead of
+// Accessed — pagetable.Dirty turns it into a soft-dirty write tracker
+// (clear-and-recheck over the dirty bit, as under /proc/pid/clear_refs).
+func NewWithFlag(pt *pagetable.Table, tl *tlb.TLB, vpid tlb.VPID, entryCostNs int64, flag pagetable.Flags) *Scanner {
 	if entryCostNs <= 0 {
 		entryCostNs = DefaultEntryCostNs
 	}
 	return &Scanner{
 		pt: pt, tl: tl, vpid: vpid,
+		flag:        flag,
 		state:       make(map[addr.Virt]*PageState),
 		entryCostNs: entryCostNs,
 	}
@@ -74,7 +88,7 @@ type Result struct {
 func (s *Scanner) Scan() Result {
 	var res Result
 	seen := make(map[addr.Virt]struct{}, len(s.state))
-	s.pt.ScanClear(pagetable.Accessed, func(base addr.Virt, prior pagetable.Flags, lvl pagetable.Level) {
+	s.pt.ScanClear(s.flag, func(base addr.Virt, prior pagetable.Flags, lvl pagetable.Level) {
 		res.Scanned++
 		st := s.state[base]
 		if st == nil {
@@ -83,7 +97,7 @@ func (s *Scanner) Scan() Result {
 		}
 		st.Level = lvl
 		seen[base] = struct{}{}
-		if prior.Has(pagetable.Accessed) {
+		if prior.Has(s.flag) {
 			res.AccessedSet++
 			st.IdleScans = 0
 			st.HotStreak++

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"thermostat/internal/addr"
-	"thermostat/internal/mem"
 	"thermostat/internal/pagetable"
 	"thermostat/internal/stats"
 )
@@ -115,11 +114,7 @@ func (NullPolicy) Tick(*Machine, int64) error { return nil }
 
 // Footprint implements Policy: everything mapped is hot.
 func (NullPolicy) Footprint(m *Machine) Footprint {
-	pt := m.PageTable()
-	return Footprint{
-		Hot2M: uint64(pt.Count2M()) * addr.PageSize2M,
-		Hot4K: uint64(pt.Count4K()) * addr.PageSize4K,
-	}
+	return AllHotFootprint(m.PageTable())
 }
 
 // Stack composes several policies into one: each member ticks at its own
@@ -491,23 +486,7 @@ func ScanFootprint(m *Machine, ranges []addr.Range) Footprint {
 				return
 			}
 		}
-		tier := m.Memory().TierOf(e.Frame)
-		slow := tier != mem.Fast
-		switch {
-		case lvl == pagetable.Level2M && slow:
-			fp.Cold2M += addr.PageSize2M
-		case lvl == pagetable.Level2M:
-			fp.Hot2M += addr.PageSize2M
-		case slow:
-			fp.Cold4K += addr.PageSize4K
-		default:
-			fp.Hot4K += addr.PageSize4K
-		}
-		if lvl == pagetable.Level2M {
-			fp.ByTier[tier].Bytes2M += addr.PageSize2M
-		} else {
-			fp.ByTier[tier].Bytes4K += addr.PageSize4K
-		}
+		fp.AddLeaf(lvl, m.Memory().TierOf(e.Frame))
 	})
 	return fp
 }

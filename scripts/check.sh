@@ -46,6 +46,16 @@ cmp "$tracedir/w1.trace.json" "$tracedir/w8.trace.json"
 cmp "$tracedir/w1.metrics.jsonl" "$tracedir/w8.metrics.jsonl"
 echo "traces byte-identical at -workers 1 and -workers 8"
 
+echo "== policy matrix smoke gate"
+# One abbreviated run per tracker × policy cell (TestMatrixSmoke at its
+# short-mode duration), then the golden byte-identity pins: the composed
+# poison+threshold engine must still replay the seed Thermostat's trace and
+# metrics exports byte-for-byte.
+go test -short -count=1 -run 'TestMatrixSmoke' ./internal/harness
+go test -count=1 -run 'TestRunAllTelemetryWorkerInvariance|TestComposedThermostatMatchesSeedEngine' \
+	./internal/harness
+echo "matrix: all tracker x policy cells run; seed composition byte-identical"
+
 echo "== chaos gates"
 # Inertness: -chaos-rate 0 must be byte-identical to a run without any
 # chaos flags, even with a seed and permanent fraction configured — the

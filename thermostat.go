@@ -102,11 +102,25 @@ type Params = cgroup.Params
 // memory cgroup.
 type Group = cgroup.Group
 
-// Engine is the Thermostat policy.
+// Engine is a composed page-placement engine: a Tracker feeding a
+// PlacementPolicy. NewEngine builds the paper's Thermostat composition
+// (poison tracker + threshold policy); Compose builds any other cell of the
+// tracker × policy matrix.
 type Engine = core.Engine
 
 // EngineStats are the engine's lifetime counters.
 type EngineStats = core.Stats
+
+// Tracker estimates per-page access rates (the engine's sensing half).
+type Tracker = core.Tracker
+
+// PlacementPolicy turns tracker estimates into migrations (the engine's
+// acting half). The name avoids clashing with Policy, the sim-level
+// interface every engine implements.
+type PlacementPolicy = core.Policy
+
+// PlacementStats are a placement policy's lifetime migration counters.
+type PlacementStats = core.PlacementStats
 
 // IdleDemote is the naive Accessed-bit baseline (demote pages idle for N
 // scans) the paper argues against.
@@ -229,6 +243,28 @@ func NewEngine(p Params, seed uint64) (*Engine, error) {
 // can be retuned at runtime.
 func NewEngineInGroup(g *Group, seed uint64) *Engine {
 	return core.NewEngine(g, seed)
+}
+
+// TrackerNames lists the selectable access trackers.
+func TrackerNames() []string { return core.TrackerNames() }
+
+// PolicyNames lists the selectable placement policies.
+func PolicyNames() []string { return core.PolicyNames() }
+
+// Compose builds an engine from any registered tracker × policy pair; see
+// TrackerNames and PolicyNames. Compose(p, "poison", "threshold", seed) is
+// the paper's engine under its composition name.
+func Compose(p Params, tracker, policy string, seed uint64) (*Engine, error) {
+	g, err := cgroup.NewGroup(tracker+"+"+policy, p)
+	if err != nil {
+		return nil, err
+	}
+	return core.ComposeByName(g, tracker, policy, seed)
+}
+
+// ComposeInGroup is Compose over an existing runtime-tunable group.
+func ComposeInGroup(g *Group, tracker, policy string, seed uint64) (*Engine, error) {
+	return core.ComposeByName(g, tracker, policy, seed)
 }
 
 // Run drives app under pol on m.
