@@ -9,7 +9,9 @@
 // Experiments: fig1, naive, fig2, table1, table2, fig3, colddata (figures
 // 5-10), fig11, table3, table4, baselines (policy comparison), ablations
 // (design-choice studies), ntier (DRAM/CXL/NVM sweep; not part of 'all'),
-// matrix (tracker × policy × workload × topology zoo; not part of 'all').
+// matrix (tracker × policy × workload × topology zoo; not part of 'all'),
+// fleet (multi-tenant datacenter-night arbitration scenario; not part of
+// 'all' — writes results/fleet_night.{txt,csv}).
 //
 // Independent runs fan out across -workers goroutines (default: all cores).
 // Results are bit-for-bit identical at any worker count; -workers 1 is the
@@ -41,6 +43,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		duration  = flag.Float64("duration", 0, "override run length in simulated seconds")
 		workers   = flag.Int("workers", 0, "goroutines fanning independent runs out (0 = all cores, 1 = serial; results are identical at any setting)")
+		outDir    = flag.String("results", "results", "directory the fleet experiment writes fleet_night.{txt,csv} into")
 	)
 	flag.Parse()
 
@@ -261,6 +264,39 @@ func main() {
 			fatal(err)
 		}
 		emit("policy_matrix", rep.Table())
+	}
+	// The fleet scenario is opt-in like ntier: multi-tenant arbitration is
+	// this repo's extension, not part of the paper's evaluation. It renders
+	// the seeded "datacenter night" report and writes the committed artifact
+	// pair results/fleet_night.{txt,csv}.
+	if want["fleet"] {
+		fmt.Fprintln(os.Stderr, "running fleet (datacenter night: one hierarchy, four tenants, churn)...")
+		res, err := harness.FleetNight(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Text)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, "fleet_night", res.Table); err != nil {
+				fatal(err)
+			}
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		txt := filepath.Join(*outDir, "fleet_night.txt")
+		if err := os.WriteFile(txt, []byte(res.Text), 0o644); err != nil {
+			fatal(err)
+		}
+		csv, err := res.TenantCSV()
+		if err != nil {
+			fatal(err)
+		}
+		csvPath := filepath.Join(*outDir, "fleet_night.csv")
+		if err := os.WriteFile(csvPath, csv, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s and %s\n", txt, csvPath)
 	}
 	// The N-tier sweep is opt-in: it is not part of the paper's evaluation,
 	// so 'all' (the paper regeneration) does not include it.

@@ -11,6 +11,13 @@
 // traffic matrix and the per-tier cost breakdown:
 //
 //	thermostat-sim -app redis -tiers dram,cxl,nvm -slowdown 3
+//
+// Passing -tenants runs several application models as co-located tenants of
+// one machine: each tenant gets its own cgroup and scoped engine, and a
+// fleet arbiter redistributes the shared DRAM pool between them every
+// sample period (-slowdown is each tenant's SLO):
+//
+//	thermostat-sim -tenants redis,mysql-tpcc,web-search -slowdown 5
 package main
 
 import (
@@ -45,6 +52,7 @@ func main() {
 		duration  = flag.Float64("duration", 0, "override run length in (simulated) seconds")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		tiersFlag = flag.String("tiers", "", "comma-separated device presets for an N-tier run, fastest first (presets: "+strings.Join(mem.PresetNames(), ", ")+")")
+		tenFlag   = flag.String("tenants", "", "comma-separated application models to run as co-located tenants under fleet DRAM arbitration (-slowdown is each tenant's SLO)")
 		workers   = flag.Int("workers", 0, "goroutines for the baseline+policy run pair (0 = all cores, 1 = serial; results are identical at any setting)")
 		list      = flag.Bool("list", false, "list application models and exit")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file of the policy run (open in Perfetto)")
@@ -69,7 +77,8 @@ func main() {
 	if err := validate(options{
 		App: *appFlag, Policy: *polFlag, Tracker: *trkFlag, Scale: *scaleName,
 		Slowdown: *slowdown, IdleSecs: *idleSecs, Duration: *duration,
-		Tiers: *tiersFlag, ChaosRate: *chaosRate, ChaosPerm: *chaosPerm,
+		Tiers: *tiersFlag, Tenants: *tenFlag,
+		ChaosRate: *chaosRate, ChaosPerm: *chaosPerm,
 	}); err != nil {
 		fatal(err)
 	}
@@ -98,6 +107,14 @@ func main() {
 
 	if *pprofAddr != "" {
 		startDebugServer(*pprofAddr)
+	}
+
+	if *tenFlag != "" {
+		runFleet(*tenFlag, sc, tracker, *polFlag, *slowdown, *workers, fleetIO{
+			trace: *traceOut, metrics: *metrics, epochs: *epochs,
+			chaosRate: *chaosRate, chaosSeed: *chaosSeed, chaosPerm: *chaosPerm,
+		})
+		return
 	}
 
 	if *tiersFlag != "" {
@@ -218,6 +235,111 @@ func main() {
 
 	fmt.Println(report.SeriesTable("Footprint over time (bytes)",
 		res.Cold2M, res.Cold4K, res.Hot2M, res.Hot4K).String())
+}
+
+// fleetIO bundles the output and chaos flags the fleet mode honors.
+type fleetIO struct {
+	trace, metrics string
+	epochs         bool
+	chaosRate      float64
+	chaosSeed      uint64
+	chaosPerm      float64
+}
+
+// runFleet runs the named application models as co-located tenants of one
+// machine under fleet DRAM arbitration and prints the per-tenant report:
+// each tenant's SLO is -slowdown, its engine the -tracker × -policy
+// composition, and its measured slowdown comes from a solo all-DRAM
+// baseline of the same workload (fanned across -workers).
+func runFleet(names string, sc harness.Scale, tracker, policy string, slowdown float64, workers int, fio fleetIO) {
+	if policy == "thermostat" {
+		// The paper's arm is the poison+threshold composition.
+		tracker, policy = "poison", "threshold"
+	}
+	var tenants []harness.FleetTenant
+	for _, name := range strings.Split(names, ",") {
+		spec, _ := workload.ByName(strings.TrimSpace(name))
+		// Leave Name empty: the harness default ("<spec>-<i>") keeps cgroup
+		// names unique even when the same model is listed twice.
+		tenants = append(tenants, harness.FleetTenant{
+			Spec: spec, SLOPct: slowdown, Tracker: tracker, Policy: policy,
+		})
+	}
+	opt := harness.FleetOptions{
+		Scale: sc, Tenants: tenants, Workers: workers, Baselines: true,
+	}
+	if fio.trace != "" || fio.metrics != "" || fio.epochs {
+		opt.Telemetry = &harness.TelemetryOptions{}
+	}
+	if fio.chaosRate > 0 {
+		opt.ConfigMutate = func(cfg *sim.Config) {
+			cfg.Chaos = chaos.Config{
+				Seed: fio.chaosSeed, Rate: fio.chaosRate, PermanentFraction: fio.chaosPerm,
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "running %d tenants (%s) under fleet arbitration...\n",
+		len(tenants), names)
+	fo, err := harness.FleetRun(opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	if col := fo.Telemetry; col != nil {
+		publishTelemetry(col)
+		if fio.trace != "" {
+			if err := writeFile(fio.trace, col.WriteChromeTrace); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", fio.trace)
+		}
+		if fio.metrics != "" {
+			if err := writeFile(fio.metrics, col.WriteJSONL); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote per-epoch metrics to %s\n", fio.metrics)
+		}
+		if fio.epochs {
+			fmt.Println(col.EpochTable())
+		}
+	}
+
+	// The fleet interleave time-shares the machine, so tenant throughput is
+	// not comparable to the solo baseline's (that deficit is mostly
+	// sharing, not memory slowdown); the solo all-DRAM tput is shown raw
+	// for reference and the SLO verdict comes from the engine's estimate.
+	r := fo.Result
+	tbl := report.NewTable("Fleet run: per-tenant summary",
+		"tenant", "slo%", "est_slow%", "sl_ok", "ops", "tput/s",
+		"solo_dram_tput/s", "grant_mb", "fast_mb", "foot_mb")
+	for _, tr := range r.Tenants {
+		status := "meets"
+		if tr.Rejected {
+			status = "rejected"
+		} else if tr.MeanSlowdownPct > tr.SLOPct {
+			status = "MISSES"
+		}
+		solo := "-"
+		if b := fo.Baselines[tr.Name]; b != nil {
+			solo = fmt.Sprintf("%.0f", b.Throughput)
+		}
+		tbl.AddF(tr.Name, fmt.Sprintf("%.1f", tr.SLOPct),
+			fmt.Sprintf("%.2f", tr.MeanSlowdownPct), status,
+			tr.Ops, fmt.Sprintf("%.0f", tr.Throughput), solo,
+			fmt.Sprintf("%.0f", float64(tr.GrantBytes)/(1<<20)),
+			fmt.Sprintf("%.0f", float64(tr.FastBytes)/(1<<20)),
+			fmt.Sprintf("%.0f", float64(tr.FootprintBytes)/(1<<20)))
+	}
+	fmt.Println(tbl.String())
+
+	fp := r.Global.FinalFootprint
+	fmt.Printf("pool %.0f MB, %d arbiter periods; fleet placement %.0f MB hot / %.0f MB cold (%.1f%% cold)\n",
+		float64(r.PoolBytes)/(1<<20), r.Periods,
+		float64(fp.Hot2M+fp.Hot4K)/(1<<20), float64(fp.Cold())/(1<<20),
+		100*fp.ColdFraction())
+	if sv, err := harness.FleetSavings(fo); err == nil {
+		fmt.Printf("fleet-wide DRAM cost saving vs all-DRAM provisioning: %.1f%%\n", 100*sv)
+	}
 }
 
 // runNTier runs spec on the named device hierarchy and prints the N-tier

@@ -67,6 +67,15 @@ func TestValidateRejections(t *testing.T) {
 			o.ChaosRate = 0.1
 		}, "not supported with -tiers"},
 		{"unknown tier preset", func(o *options) { o.Tiers = "dram,quantum" }, "unknown device preset"},
+		{"tenants with tiers", func(o *options) {
+			o.Tenants = "redis,web-search"
+			o.Tiers = "dram,cxl"
+		}, "not supported with -tiers"},
+		{"tenants under non-migrating policy", func(o *options) {
+			o.Tenants = "redis,web-search"
+			o.Policy = "all-dram"
+		}, "-tenants needs a migrating per-tenant engine"},
+		{"unknown tenant app", func(o *options) { o.Tenants = "redis, nope" }, "unknown tenant application"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -125,5 +134,25 @@ func TestValidateAcceptsCompositions(t *testing.T) {
 	o.Policy, o.ChaosRate = "threshold", 0.2
 	if err := validate(o); err != nil {
 		t.Fatalf("composition with chaos rejected: %v", err)
+	}
+}
+
+func TestValidateAcceptsTenantCombos(t *testing.T) {
+	o := valid()
+	o.Tenants = "redis, web-search ,mysql-tpcc"
+	if err := validate(o); err != nil {
+		t.Fatalf("tenant fleet under thermostat rejected: %v", err)
+	}
+	// Fleet tenants run composition engines, so -tracker/-policy pairs and
+	// machine-wide chaos both apply.
+	o = valid()
+	o.Tenants, o.Policy, o.Tracker = "redis,redis", "heat", "damon"
+	if err := validate(o); err != nil {
+		t.Fatalf("tenant fleet with composition rejected: %v", err)
+	}
+	o = valid()
+	o.Tenants, o.ChaosRate, o.ChaosPerm = "redis,web-search", 0.3, 0.5
+	if err := validate(o); err != nil {
+		t.Fatalf("tenant fleet with chaos rejected: %v", err)
 	}
 }

@@ -20,6 +20,7 @@ type options struct {
 	IdleSecs  float64
 	Duration  float64
 	Tiers     string
+	Tenants   string
 	ChaosRate float64
 	ChaosPerm float64
 }
@@ -94,6 +95,25 @@ func validate(o options) error {
 	}
 	if o.ChaosRate > 0 && !migratesPages(o.Policy) {
 		return fmt.Errorf("-chaos-rate needs a migrating policy; all-dram never migrates")
+	}
+	if o.Tenants != "" {
+		// The fleet path builds one two-tier machine per run and gives every
+		// tenant the same engine composition, so it composes with chaos (the
+		// injector is machine-wide) but not with -tiers or the fixed
+		// non-migrating arms.
+		if o.Tiers != "" {
+			return fmt.Errorf("-tenants is not supported with -tiers (the fleet pool is the two-tier DRAM budget)")
+		}
+		if o.Policy != "thermostat" && !isCompositionPolicy(o.Policy) {
+			return fmt.Errorf("-tenants needs a migrating per-tenant engine (-policy thermostat, %s)",
+				strings.Join(core.PolicyNames(), ", or "))
+		}
+		for _, name := range strings.Split(o.Tenants, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := workload.ByName(name); !ok {
+				return fmt.Errorf("unknown tenant application %q (try -list)", name)
+			}
+		}
 	}
 	if o.Tiers != "" {
 		// A deep hierarchy only makes sense under an engine that migrates

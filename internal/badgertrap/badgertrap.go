@@ -159,3 +159,14 @@ func (t *Trap) CountsSnapshot() map[addr.Virt]uint64 {
 func (t *Trap) ResetCounts() {
 	t.counts = make(map[addr.Virt]uint64)
 }
+
+// ForgetRange drops the recorded counts for every leaf page in r. Called
+// when an address range is unmapped for good (tenant departure), so the
+// count map does not accumulate entries for dead mappings.
+func (t *Trap) ForgetRange(r addr.Range) {
+	for k := range t.counts {
+		if r.Contains(k) {
+			delete(t.counts, k)
+		}
+	}
+}

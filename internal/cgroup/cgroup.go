@@ -70,11 +70,18 @@ func (p Params) TargetSlowAccessRate() float64 {
 
 // Group is one named cgroup whose parameters can be retuned at runtime.
 // Reads and writes are safe for concurrent use.
+//
+// Groups form a hierarchy: a child created with NewChild charges its memory
+// usage through every ancestor, mirroring the kernel's memory.current /
+// memory.max propagation. See accounting.go for the charge protocol.
 type Group struct {
-	name string
+	name   string
+	parent *Group
 
 	mu     sync.RWMutex
 	params Params
+	limit  uint64 // accounting limit in bytes; 0 = unlimited
+	usage  uint64 // bytes currently charged
 }
 
 // NewGroup validates p and creates a group.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"thermostat/internal/addr"
 	"thermostat/internal/cgroup"
@@ -96,6 +97,9 @@ func ComposeByName(group *cgroup.Group, tracker, policy string, seed uint64) (*E
 
 // Tracker returns the composed tracker (for configuration and inspection).
 func (e *Engine) Tracker() Tracker { return e.tr }
+
+// Group returns the cgroup the engine draws its parameters from.
+func (e *Engine) Group() *cgroup.Group { return e.group }
 
 // Policy returns the composed placement policy.
 func (e *Engine) Policy() Policy { return e.pol }
@@ -212,6 +216,81 @@ func (e *Engine) InflightPages() int {
 // scan (for inspection and the Figure 2 style analyses).
 func (e *Engine) LastEstimates() []Estimate {
 	return append([]Estimate(nil), e.lastEstimates...)
+}
+
+// MeasuredColdRate returns the aggregate measured access rate to the cold
+// set from the policy's most recent correction pass, in accesses/sec (0 for
+// policies that do not measure one). Multiplied by the slow-memory latency
+// this is the engine's own §3.4 estimate of the slowdown it is inflicting —
+// the per-tenant SLO-feedback signal the fleet arbiter consumes.
+func (e *Engine) MeasuredColdRate() float64 {
+	if cm, ok := e.pol.(interface{ MeasuredColdRate() float64 }); ok {
+		return cm.MeasuredColdRate()
+	}
+	return 0
+}
+
+// EstimatedSlowdownPct converts the measured cold-access rate into the
+// paper's slowdown estimate: rate × ts, as a percentage of execution time.
+func (e *Engine) EstimatedSlowdownPct() float64 {
+	ts := float64(e.group.Params().SlowMemLatencyNs) * 1e-9
+	return e.MeasuredColdRate() * ts * 100
+}
+
+// QuarantinedBases returns the currently-quarantined page bases in address
+// order, when the composed policy quarantines at all. Pure inspection.
+func (e *Engine) QuarantinedBases() []addr.Virt {
+	if q, ok := e.pol.(interface{ QuarantinedBases() []addr.Virt }); ok {
+		return q.QuarantinedBases()
+	}
+	return nil
+}
+
+// capacityDemoter is the optional Policy extension Squeeze rides on: demote
+// one specific top-tier page through the policy's own placement machinery.
+type capacityDemoter interface {
+	DemoteForCapacity(base addr.Virt) (bool, error)
+}
+
+// Squeeze demotes the coldest estimated top-tier pages until at least
+// maxBytes of top-tier memory has been released (or candidates run out) —
+// the fleet arbiter's enforcement hook when a tenant's DRAM grant shrinks
+// below its residency. Candidates come from the most recent classify scan,
+// coldest first with address-order ties, skipping pages already below the
+// top tier; each demotion runs the policy's normal retry/quarantine path
+// and lands in the cold set, so the §3.5 corrector can undo a squeeze that
+// turns out too aggressive. Returns the bytes actually released.
+func (e *Engine) Squeeze(maxBytes uint64) (uint64, error) {
+	cd, ok := e.pol.(capacityDemoter)
+	if !ok || maxBytes == 0 || len(e.lastEstimates) == 0 {
+		return 0, nil
+	}
+	cands := make([]Estimate, 0, len(e.lastEstimates))
+	for _, est := range e.lastEstimates {
+		if !e.pol.IsCold(est.Base) {
+			cands = append(cands, est)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Rate != cands[j].Rate {
+			return cands[i].Rate < cands[j].Rate
+		}
+		return cands[i].Base < cands[j].Base
+	})
+	var freed uint64
+	for _, c := range cands {
+		if freed >= maxBytes {
+			break
+		}
+		moved, err := cd.DemoteForCapacity(c.Base)
+		if err != nil {
+			return freed, err
+		}
+		if moved {
+			freed += addr.PageSize2M
+		}
+	}
+	return freed, nil
 }
 
 // Tick implements sim.Policy: one sampling period of the composition.

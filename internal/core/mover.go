@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 
 	"thermostat/internal/addr"
 	"thermostat/internal/chaos"
@@ -92,6 +93,18 @@ func (v *mover) stats() PlacementStats {
 func (v *mover) quarantine(base addr.Virt) {
 	v.quarUntil[base] = v.periods.Value() + v.quarantinePeriods
 	v.quarantined.Inc()
+}
+
+// quarantinedBases returns the benched page bases in address order,
+// including lazily-unexpired sentences (no machine or quarantine state is
+// touched — pure inspection).
+func (v *mover) quarantinedBases() []addr.Virt {
+	bases := make([]addr.Virt, 0, len(v.quarUntil))
+	for base := range v.quarUntil {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases
 }
 
 // isQuarantined reports whether base is still benched; expired sentences are

@@ -67,6 +67,10 @@ type HeatPolicy struct {
 	// (which receives it) to Place (which does not).
 	lastInterval float64
 
+	// lastColdRate is the aggregate measured access rate to the cold set
+	// from the most recent Correct pass (accesses/sec).
+	lastColdRate float64
+
 	mv mover
 }
 
@@ -180,6 +184,7 @@ func (p *HeatPolicy) watermarks() (promote, demote float64) {
 // first, so a full top tier serves the strongest candidates.
 func (p *HeatPolicy) Correct(intervalSec float64) error {
 	p.lastInterval = intervalSec
+	p.lastColdRate = 0
 	if len(p.cold) == 0 {
 		return nil
 	}
@@ -187,6 +192,7 @@ func (p *HeatPolicy) Correct(intervalSec float64) error {
 	promoteWM, _ := p.watermarks()
 	var cands []Measured
 	for _, c := range measured {
+		p.lastColdRate += c.Rate
 		p.bump(c.Base, c.Rate, intervalSec)
 		if p.mv.isQuarantined(c.Base) || p.moved[c.Base] {
 			continue
@@ -289,20 +295,36 @@ func (p *HeatPolicy) Place(ests []Estimate) error {
 
 // demote moves a top-tier page one tier down.
 func (p *HeatPolicy) demote(base addr.Virt) error {
+	_, err := p.DemoteForCapacity(base)
+	return err
+}
+
+// DemoteForCapacity demotes one top-tier page through the normal placement
+// machinery and reports whether it actually moved (the arbiter's squeeze
+// path, see ThresholdPolicy.DemoteForCapacity).
+func (p *HeatPolicy) DemoteForCapacity(base addr.Virt) (bool, error) {
 	handled, err := p.mv.attemptMove(base, func() error {
 		_, err := p.m.Demote(base)
 		return err
 	})
 	if err != nil {
-		return err
+		return false, err
 	}
 	if handled {
 		p.mv.demoteFailures.Inc()
-		return nil
+		return false, nil
 	}
 	p.tr.NotePlaced(base)
 	p.cold[base] = true
 	p.moved[base] = true
 	p.mv.demotions.Inc()
-	return nil
+	return true, nil
 }
+
+// MeasuredColdRate returns the aggregate measured access rate to the cold
+// set from the most recent correction pass, in accesses/sec.
+func (p *HeatPolicy) MeasuredColdRate() float64 { return p.lastColdRate }
+
+// QuarantinedBases returns the currently-quarantined page bases in address
+// order (including lazily-unexpired entries).
+func (p *HeatPolicy) QuarantinedBases() []addr.Virt { return p.mv.quarantinedBases() }

@@ -39,6 +39,11 @@ type ThresholdPolicy struct {
 	// noCorrection disables the §3.5 corrector (ablation).
 	noCorrection bool
 
+	// lastColdRate is the aggregate measured access rate to the cold set
+	// from the most recent Correct pass (accesses/sec) — the input to the
+	// per-tenant slowdown estimate the fleet arbiter feeds on.
+	lastColdRate float64
+
 	mv mover
 }
 
@@ -114,12 +119,16 @@ func (p *ThresholdPolicy) Footprint(m *sim.Machine) sim.Footprint {
 // tiers, it additionally sinks persistently idle cold pages one tier
 // further down.
 func (p *ThresholdPolicy) Correct(intervalSec float64) error {
+	p.lastColdRate = 0
 	if p.noCorrection || len(p.cold) == 0 {
 		return nil
 	}
 	// Canonical order so equal-rate ties break deterministically (map
 	// iteration order must not leak into placement decisions).
 	all := p.tr.MeasureCold(sortedColdSet(p.cold), intervalSec)
+	for _, c := range all {
+		p.lastColdRate += c.Rate
+	}
 	// Quarantined pages were still measured — so when the sentence expires
 	// the measured rate covers one interval, not the whole bench — but are
 	// not placement candidates.
@@ -267,19 +276,37 @@ func (p *ThresholdPolicy) Place(ests []Estimate) error {
 // slow-memory emulation). Failures — destination pressure or injected
 // faults — are retried and then quarantined rather than aborting the run.
 func (p *ThresholdPolicy) demote(base addr.Virt) error {
+	_, err := p.DemoteForCapacity(base)
+	return err
+}
+
+// DemoteForCapacity demotes one top-tier page through the normal placement
+// machinery (retry/quarantine, cold-set membership, tracker notification)
+// and reports whether the page actually moved. The fleet arbiter uses it to
+// squeeze a tenant under a shrunken DRAM grant; the page joins the cold set
+// so the §3.5 corrector can bring it back if it turns out hot.
+func (p *ThresholdPolicy) DemoteForCapacity(base addr.Virt) (bool, error) {
 	handled, err := p.mv.attemptMove(base, func() error {
 		_, err := p.m.Demote(base)
 		return err
 	})
 	if err != nil {
-		return err
+		return false, err
 	}
 	if handled {
 		p.mv.demoteFailures.Inc()
-		return nil
+		return false, nil
 	}
 	p.tr.NotePlaced(base)
 	p.cold[base] = true
 	p.mv.demotions.Inc()
-	return nil
+	return true, nil
 }
+
+// MeasuredColdRate returns the aggregate measured access rate to the cold
+// set from the most recent correction pass, in accesses/sec.
+func (p *ThresholdPolicy) MeasuredColdRate() float64 { return p.lastColdRate }
+
+// QuarantinedBases returns the currently-quarantined page bases in address
+// order (including lazily-unexpired entries).
+func (p *ThresholdPolicy) QuarantinedBases() []addr.Virt { return p.mv.quarantinedBases() }

@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"reflect"
 	"testing"
 	"time"
@@ -182,6 +184,69 @@ func TestPoolMapPropertyUnderHarness(t *testing.T) {
 		}
 		if len(failing)+len(panicking) == 0 && err != nil {
 			t.Fatalf("trial %d: spurious error %v", trial, err)
+		}
+	}
+}
+
+// TestSerialEquivalenceFleetRun extends the workers differential to the
+// fleet: a churning two-tenant run with per-tenant baselines fanned over 1
+// vs 8 workers must produce DeepEqual outcomes — fleet result, per-tenant
+// series, baselines — and byte-identical per-tenant trace exports.
+func TestSerialEquivalenceFleetRun(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	sc := equivScale()
+	run := func(workers int) (*FleetOutcome, map[string][2]string, error) {
+		fo, err := FleetRun(FleetOptions{
+			Scale: sc,
+			Tenants: []FleetTenant{
+				{Name: "front", Spec: workload.WebSearch(), SLOPct: 3, Priority: 2, Share: 2},
+				{Name: "batch", Spec: workload.MySQLTPCC(), SLOPct: 10,
+					DepartNs: sc.DurationNs * 3 / 4},
+			},
+			Workers: workers, Baselines: true,
+			Telemetry: &TelemetryOptions{Dir: t.TempDir()},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		paths, err := fo.ExportTenantTraces(&TelemetryOptions{Dir: t.TempDir()})
+		return fo, paths, err
+	}
+	serial, serialPaths, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanned, fannedPaths, err := run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Result, fanned.Result) {
+		t.Errorf("fleet results diverge between worker counts:\n w1 %+v\n w8 %+v",
+			serial.Result, fanned.Result)
+	}
+	if !reflect.DeepEqual(serial.Baselines, fanned.Baselines) {
+		t.Error("per-tenant baselines diverge between worker counts")
+	}
+	for name, sp := range serialPaths {
+		fp, ok := fannedPaths[name]
+		if !ok {
+			t.Fatalf("tenant %s missing from fanned exports", name)
+		}
+		for i := 0; i < 2; i++ {
+			sb, err := os.ReadFile(sp[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb, err := os.ReadFile(fp[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sb, fb) {
+				t.Errorf("tenant %s export %d differs between worker counts", name, i)
+			}
 		}
 	}
 }

@@ -417,6 +417,75 @@ func (m *Machine) AllocRegion(size uint64, huge bool) (addr.Range, error) {
 	return r, nil
 }
 
+// FreeRegion unmaps every leaf in r and returns its frames to their owning
+// tiers — the munmap path a departing tenant takes. Poisoned leaves are
+// disarmed, split huge pages are collapsed back to their 2MB allocation
+// grain, the TLB range is shot down (including transient BadgerTrap
+// translations), and the trap's per-page fault counts for the range are
+// dropped. The LLC is deliberately not flushed: real kernels do not flush
+// caches on munmap, and recycled frames genuinely keep their lines warm.
+//
+// Returns the freed bytes per tier, indexed by mem.TierID. Freed virtual
+// addresses are never reused (the region allocator only bumps forward).
+func (m *Machine) FreeRegion(r addr.Range) ([]uint64, error) {
+	type leafInfo struct {
+		base addr.Virt
+		lvl  pagetable.Level
+		poi  bool
+		spl  bool
+	}
+	var leaves []leafInfo
+	m.pt.ScanRange(r, func(base addr.Virt, e *pagetable.Entry, lvl pagetable.Level) {
+		leaves = append(leaves, leafInfo{
+			base: base, lvl: lvl,
+			poi: e.Flags.Has(pagetable.Poisoned),
+			spl: e.Flags.Has(pagetable.SplitSampled),
+		})
+	})
+	// Disarm monitoring, then restore sampled pages to their 2MB allocation
+	// grain so each Unmap returns exactly one allocator block.
+	var collapse []addr.Virt
+	for _, l := range leaves {
+		if l.poi {
+			if err := m.trap.Unpoison(l.base); err != nil {
+				return nil, fmt.Errorf("sim: FreeRegion: %w", err)
+			}
+		}
+		if hv := l.base.Base2M(); l.spl &&
+			(len(collapse) == 0 || collapse[len(collapse)-1] != hv) {
+			collapse = append(collapse, hv)
+		}
+	}
+	for _, hv := range collapse {
+		if err := m.pt.Collapse(hv); err != nil {
+			return nil, fmt.Errorf("sim: FreeRegion: %w", err)
+		}
+	}
+	// Re-scan (the leaf set changed shape), then unmap and free.
+	var final []leafInfo
+	m.pt.ScanRange(r, func(base addr.Virt, e *pagetable.Entry, lvl pagetable.Level) {
+		final = append(final, leafInfo{base: base, lvl: lvl})
+	})
+	freed := make([]uint64, m.sys.NumTiers())
+	for _, l := range final {
+		e, lvl, err := m.pt.Unmap(l.base)
+		if err != nil {
+			return nil, fmt.Errorf("sim: FreeRegion: %w", err)
+		}
+		tier := m.sys.TierOf(e.Frame)
+		if lvl == pagetable.Level2M {
+			m.sys.Tier(tier).Free2M(e.Frame)
+			freed[tier] += addr.PageSize2M
+		} else {
+			m.sys.Tier(tier).Free4K(e.Frame)
+			freed[tier] += addr.PageSize4K
+		}
+	}
+	m.tl.InvalidateRange(r, m.VPID())
+	m.trap.ForgetRange(r)
+	return freed, nil
+}
+
 // Demote moves the 2MB region containing v one tier down the hierarchy and
 // arms PMD-grain poisoning on it. The poison serves double duty: in
 // EmulatedFault mode it is the slow-memory emulation itself (each TLB miss

@@ -204,3 +204,36 @@ func boolBytes(b bool, n uint64) uint64 {
 	}
 	return 0
 }
+
+// EpochTracker is the exported handle to the epoch protocol for run loops
+// that live outside this package (the fleet runner). It brackets policy
+// intervals with EpochStart/End events and emits one Snapshot per epoch,
+// exactly as Run does internally.
+type EpochTracker struct{ t *epochTracker }
+
+// NewEpochTracker starts epoch 1 at the machine's current clock, recording
+// into the machine's installed Recorder. pol, when non-nil, supplies the
+// cold set (confusion matrix) and fault report; pass nil when no single
+// policy owns the whole machine. Returns nil when the machine has no
+// recorder, and every method on a nil tracker is a no-op — callers need no
+// telemetry-enabled check.
+func NewEpochTracker(m *Machine, pol Policy) *EpochTracker {
+	if m.Recorder() == nil {
+		return nil
+	}
+	return &EpochTracker{t: newEpochTracker(m, pol)}
+}
+
+// Roll closes the current epoch at nowNs and opens the next.
+func (e *EpochTracker) Roll(nowNs int64) {
+	if e != nil {
+		e.t.roll(nowNs)
+	}
+}
+
+// End closes the current epoch without opening a new one (run teardown).
+func (e *EpochTracker) End(nowNs int64) {
+	if e != nil {
+		e.t.end(nowNs)
+	}
+}

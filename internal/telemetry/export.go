@@ -30,7 +30,12 @@ func laneOf(k Kind) int {
 		return lanePlacement
 	case KindFaultInjected, KindChaosFault:
 		return laneFaults
-	default: // huge-split / huge-collapse
+	default:
+		// huge-split / huge-collapse, and the fleet's tenant lifecycle and
+		// grant revisions — all daemon work. The fleet kinds deliberately
+		// share this existing lane: a new lane would add a thread_name
+		// metadata record to every trace and break byte-compatibility with
+		// pre-fleet goldens.
 		return laneDaemons
 	}
 }
@@ -133,6 +138,9 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 			if e.Kind == KindChaosFault {
 				args["site"] = chaos.Site(e.Site).String()
 				args["permanent"] = e.Permanent
+			}
+			if e.Tenant != "" {
+				args["tenant"] = e.Tenant
 			}
 			ev.Args = args
 		}

@@ -56,6 +56,15 @@ const (
 	// policy: Site identifies the injection point, Count the attempt number
 	// it struck, Permanent whether retrying is futile.
 	KindChaosFault
+	// KindTenantArrived records a tenant admitted to a fleet run (Tenant
+	// names it, Bytes is its initial DRAM grant).
+	KindTenantArrived
+	// KindTenantDeparted records a tenant torn down mid-run (Bytes is the
+	// memory it released).
+	KindTenantDeparted
+	// KindGrantChanged records the fleet arbiter revising one tenant's DRAM
+	// grant (Bytes is the new grant).
+	KindGrantChanged
 	nKinds
 )
 
@@ -82,6 +91,12 @@ func (k Kind) String() string {
 		return "huge-collapse"
 	case KindChaosFault:
 		return "chaos-fault"
+	case KindTenantArrived:
+		return "tenant-arrived"
+	case KindTenantDeparted:
+		return "tenant-departed"
+	case KindGrantChanged:
+		return "grant-changed"
 	default:
 		return "unknown"
 	}
@@ -110,6 +125,9 @@ type Event struct {
 	Site uint8
 	// Permanent marks a permanent injected fault (KindChaosFault only).
 	Permanent bool
+	// Tenant names the fleet tenant the event concerns (tenant lifecycle
+	// and grant events only; empty otherwise).
+	Tenant string
 }
 
 // Snapshot is one epoch's metric snapshot, built from machine counter deltas

@@ -259,6 +259,27 @@ func (t *TLB) InvalidateVPID(vpid VPID) {
 	t.l2.removeIf(pred)
 }
 
+// InvalidateRange drops every cached translation under vpid whose virtual
+// page falls in r — the range-shootdown a munmap performs. Unlike per-page
+// Invalidate it also catches transient 4KB translations BadgerTrap installed
+// inside poisoned huge pages, whose bases the caller cannot enumerate.
+func (t *TLB) InvalidateRange(r addr.Range, vpid VPID) {
+	pred := func(k key) bool {
+		if k.vpid != vpid {
+			return false
+		}
+		var v addr.Virt
+		if k.lvl == pagetable.Level2M {
+			v = addr.Virt(k.vpn << addr.PageShift2M)
+		} else {
+			v = addr.Virt(k.vpn << addr.PageShift4K)
+		}
+		return r.Contains(v)
+	}
+	t.l1.removeIf(pred)
+	t.l2.removeIf(pred)
+}
+
 // Flush empties the whole TLB.
 func (t *TLB) Flush() {
 	t.l1.clear()

@@ -78,4 +78,15 @@ cmp "$tracedir/cw1.trace.json" "$tracedir/cw8.trace.json"
 cmp "$tracedir/cw1.metrics.jsonl" "$tracedir/cw8.metrics.jsonl"
 echo "chaos: rate-0 inert, seeded faults survive and reproduce at any worker count"
 
+echo "== fleet smoke gate"
+# Multi-tenant arbitration: the arbiter's property tests (grants sum
+# exactly to the pool, floors honored, oversubscription rejected), the
+# degenerate differential (a single-tenant fleet replays the solo run
+# bit-for-bit, traces included), and one two-tenant CLI run end-to-end.
+go test -count=1 -run 'TestArbitrate' ./internal/fleet
+go test -count=1 -run 'TestFleetSingleTenantMatchesRunComposed' ./internal/harness
+go run ./cmd/thermostat-sim -tenants redis,web-search -scale tiny -duration 4 \
+	-slowdown 5 >/dev/null
+echo "fleet: arbiter invariants hold; single-tenant fleet is bit-identical to solo"
+
 echo "check: OK"
