@@ -1,0 +1,47 @@
+// Command promlint validates a Prometheus text-format scrape against the
+// strict parser the observability plane's tests use — CI curls /metrics
+// from a live run and pipes the body through this:
+//
+//	curl -s localhost:9090/metrics | promlint
+//	promlint scrape.prom
+//
+// Exit status 0 means every family parsed (HELP before TYPE, legal names
+// and escapes, no duplicate families or samples); 1 means the scrape is
+// malformed, with the defect on stderr.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"thermostat/internal/obsv"
+)
+
+func main() {
+	var r io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		if len(os.Args) > 2 {
+			fmt.Fprintln(os.Stderr, "usage: promlint [scrape-file]")
+			os.Exit(2)
+		}
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r, name = f, os.Args[1]
+	}
+	fams, err := obsv.ParseProm(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	fmt.Printf("%s: %d families, %d samples, all valid\n", name, len(fams), samples)
+}

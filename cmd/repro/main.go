@@ -22,15 +22,21 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"thermostat/internal/harness"
+	"thermostat/internal/obsv"
 	"thermostat/internal/report"
 	"thermostat/internal/stats"
 	"thermostat/internal/workload"
 )
+
+// logger is the process-wide structured logger, configured by -log-format
+// in main before any run starts.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	var (
@@ -44,8 +50,20 @@ func main() {
 		duration  = flag.Float64("duration", 0, "override run length in simulated seconds")
 		workers   = flag.Int("workers", 0, "goroutines fanning independent runs out (0 = all cores, 1 = serial; results are identical at any setting)")
 		outDir    = flag.String("results", "results", "directory the fleet experiment writes fleet_night.{txt,csv} into")
+		serveAddr = flag.String("serve", "", "serve the live observability plane (/metrics, /status, /tenants, /dump, pprof) on this address (e.g. localhost:9090) for the duration of the run")
+		pprofAddr = flag.String("pprof", "", "additional address for the same observability server (e.g. localhost:6060)")
+		logFormat = flag.String("log-format", "text", "progress log format: text or json")
 	)
 	flag.Parse()
+
+	if err := validate(options{
+		Exps: *expFlag, Scale: *scaleFlag, Apps: *appsFlag,
+		Slowdown: *slowdown, Duration: *duration,
+		Serve: *serveAddr, Pprof: *pprofAddr, LogFormat: *logFormat,
+	}); err != nil {
+		fatal(err)
+	}
+	logger, _ = obsv.NewLogger(os.Stderr, *logFormat) // format vetted above
 
 	sc, err := scaleByName(*scaleFlag)
 	if err != nil {
@@ -60,6 +78,24 @@ func main() {
 	}
 
 	opt := harness.Options{Scale: sc, SlowdownPct: *slowdown, Workers: *workers}
+	if *serveAddr != "" || *pprofAddr != "" {
+		pub := obsv.NewPublisher()
+		pub.SetInfo(obsv.Info{
+			Binary: "repro", App: *appsFlag, Policy: "thermostat",
+			Scale: *scaleFlag, Seed: *seed, Workers: *workers,
+		})
+		for _, addr := range serveAddrs(*serveAddr, *pprofAddr) {
+			_, bound, err := obsv.Serve(addr, pub)
+			if err != nil {
+				fatal(err)
+			}
+			logger.Info("observability server listening",
+				"addr", "http://"+bound, "endpoints", "/metrics /healthz /status /tenants /dump /debug/pprof")
+		}
+		pub.SetPhase(obsv.PhaseRunning)
+		defer pub.SetPhase(obsv.PhaseDone)
+		opt.Publisher = pub
+	}
 	if *appsFlag != "" {
 		for _, name := range strings.Split(*appsFlag, ",") {
 			spec, ok := workload.ByName(strings.TrimSpace(name))
@@ -91,7 +127,7 @@ func main() {
 		selected("table3") || selected("table4")
 	var runs map[string]*harness.AppRun
 	if needRuns {
-		fmt.Fprintf(os.Stderr, "running baseline + thermostat pairs (%s scale)...\n", sc.Name)
+		logger.Info("running baseline + thermostat pairs", "scale", sc.Name)
 		runs, err = harness.RunAll(opt)
 		if err != nil {
 			fatal(err)
@@ -99,7 +135,7 @@ func main() {
 	}
 
 	if selected("fig1") {
-		fmt.Fprintln(os.Stderr, "running fig1 (Accessed-bit idle fractions)...")
+		logger.Info("running fig1 (Accessed-bit idle fractions)")
 		r, err := harness.Fig1(opt)
 		if err != nil {
 			fatal(err)
@@ -124,7 +160,7 @@ func main() {
 		}
 	}
 	if selected("naive") {
-		fmt.Fprintln(os.Stderr, "running naive idle-bit placement on redis...")
+		logger.Info("running naive idle-bit placement on redis")
 		n, err := harness.NaivePlacement(workload.Redis(), opt)
 		if err != nil {
 			fatal(err)
@@ -135,7 +171,7 @@ func main() {
 		emit("naive", t)
 	}
 	if selected("fig2") {
-		fmt.Fprintln(os.Stderr, "running fig2 (Accessed-bit correlation scatter)...")
+		logger.Info("running fig2 (Accessed-bit correlation scatter)")
 		r, err := harness.Fig2(opt)
 		if err != nil {
 			fatal(err)
@@ -155,7 +191,7 @@ func main() {
 		}
 	}
 	if selected("table1") {
-		fmt.Fprintln(os.Stderr, "running table1 (huge page gains)...")
+		logger.Info("running table1 (huge page gains)")
 		rows, err := harness.Table1(opt)
 		if err != nil {
 			fatal(err)
@@ -199,7 +235,7 @@ func main() {
 		}
 	}
 	if selected("fig11") {
-		fmt.Fprintln(os.Stderr, "running fig11 (slowdown sweep)...")
+		logger.Info("running fig11 (slowdown sweep)")
 		rows, err := harness.Fig11(opt)
 		if err != nil {
 			fatal(err)
@@ -235,7 +271,7 @@ func main() {
 		emit("table4", harness.Table4Table(rows))
 	}
 	if selected("baselines") {
-		fmt.Fprintln(os.Stderr, "running baseline policy comparison...")
+		logger.Info("running baseline policy comparison")
 		apps := opt.Apps
 		if len(apps) == 0 {
 			apps = []workload.Spec{workload.Cassandra(workload.WriteHeavy), workload.Redis()}
@@ -254,7 +290,7 @@ func main() {
 	// The policy matrix is opt-in like ntier: it compares this repo's
 	// tracker × policy zoo head-to-head, which the paper never did.
 	if want["matrix"] {
-		fmt.Fprintln(os.Stderr, "running policy matrix (tracker × policy × workload × topology)...")
+		logger.Info("running policy matrix (tracker × policy × workload × topology)")
 		mopt := harness.MatrixOptions{
 			Scale: opt.Scale, Apps: opt.Apps,
 			SlowdownPct: opt.SlowdownPct, Workers: opt.Workers,
@@ -270,7 +306,7 @@ func main() {
 	// the seeded "datacenter night" report and writes the committed artifact
 	// pair results/fleet_night.{txt,csv}.
 	if want["fleet"] {
-		fmt.Fprintln(os.Stderr, "running fleet (datacenter night: one hierarchy, four tenants, churn)...")
+		logger.Info("running fleet (datacenter night: one hierarchy, four tenants, churn)")
 		res, err := harness.FleetNight(opt)
 		if err != nil {
 			fatal(err)
@@ -296,12 +332,12 @@ func main() {
 		if err := os.WriteFile(csvPath, csv, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s and %s\n", txt, csvPath)
+		logger.Info("wrote fleet night artifacts", "txt", txt, "csv", csvPath)
 	}
 	// The N-tier sweep is opt-in: it is not part of the paper's evaluation,
 	// so 'all' (the paper regeneration) does not include it.
 	if want["ntier"] {
-		fmt.Fprintln(os.Stderr, "running ntier (DRAM/CXL/NVM sweep)...")
+		logger.Info("running ntier (DRAM/CXL/NVM sweep)")
 		reps, err := harness.NTierSweep(opt, harness.DefaultThreeTier(0))
 		if err != nil {
 			fatal(err)
@@ -318,43 +354,43 @@ func runAblations(opt harness.Options, emit func(string, *report.Table)) {
 	cassandra := workload.Cassandra(workload.WriteHeavy)
 	aerospike := workload.Aerospike(workload.ReadHeavy)
 
-	fmt.Fprintln(os.Stderr, "ablation: poison budget K...")
+	logger.Info("ablation: poison budget K")
 	if _, t, err := harness.AblationPoisonBudget(cassandra, opt); err != nil {
 		fatal(err)
 	} else {
 		emit("ablation-k", t)
 	}
-	fmt.Fprintln(os.Stderr, "ablation: sample fraction...")
+	logger.Info("ablation: sample fraction")
 	if _, t, err := harness.AblationSampleFraction(cassandra, opt); err != nil {
 		fatal(err)
 	} else {
 		emit("ablation-fraction", t)
 	}
-	fmt.Fprintln(os.Stderr, "ablation: accessed-bit prefilter...")
+	logger.Info("ablation: accessed-bit prefilter")
 	if _, t, err := harness.AblationPrefilter(aerospike, opt); err != nil {
 		fatal(err)
 	} else {
 		emit("ablation-prefilter", t)
 	}
-	fmt.Fprintln(os.Stderr, "ablation: correction under rotation...")
+	logger.Info("ablation: correction under rotation")
 	if _, t, err := harness.AblationCorrection(opt); err != nil {
 		fatal(err)
 	} else {
 		emit("ablation-correction", t)
 	}
-	fmt.Fprintln(os.Stderr, "ablation: trap placement...")
+	logger.Info("ablation: trap placement")
 	if _, t, err := harness.AblationTrapPlacement(cassandra, opt); err != nil {
 		fatal(err)
 	} else {
 		emit("ablation-trap", t)
 	}
-	fmt.Fprintln(os.Stderr, "ablation: slow-memory model...")
+	logger.Info("ablation: slow-memory model")
 	if _, t, err := harness.AblationSlowMemMode(cassandra, opt); err != nil {
 		fatal(err)
 	} else {
 		emit("ablation-slowmode", t)
 	}
-	fmt.Fprintln(os.Stderr, "ablation: §6.1 counters...")
+	logger.Info("ablation: §6.1 counters")
 	if _, t, err := harness.AblationCounters(opt); err != nil {
 		fatal(err)
 	} else {
@@ -401,7 +437,21 @@ func writeCSV(dir, name string, t *report.Table) error {
 	return t.WriteCSV(f)
 }
 
+// serveAddrs deduplicates the -serve/-pprof addresses, preserving order.
+func serveAddrs(addrs ...string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		out = append(out, a)
+	}
+	return out
+}
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "repro:", err)
+	logger.Error("repro failed", "err", err)
 	os.Exit(1)
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"thermostat/internal/obsv"
+	"thermostat/internal/workload"
+)
+
+// options captures every flag value that validation inspects, so the
+// validator is a pure function the tests drive directly (same shape as
+// cmd/thermostat-sim's).
+type options struct {
+	Exps      string
+	Scale     string
+	Apps      string
+	Slowdown  float64
+	Duration  float64
+	Serve     string
+	Pprof     string
+	LogFormat string
+}
+
+// experiments is the set -exp accepts, including the opt-in extras 'all'
+// does not run.
+var experiments = []string{
+	"all", "fig1", "naive", "fig2", "table1", "table2", "fig3", "colddata",
+	"fig11", "table3", "table4", "baselines", "ablations",
+	"ntier", "matrix", "fleet",
+}
+
+func knownExperiment(name string) bool {
+	for _, e := range experiments {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+// validate rejects inconsistent flag combinations before any simulation
+// state is built, with a one-line usage error per defect.
+func validate(o options) error {
+	for _, e := range strings.Split(o.Exps, ",") {
+		e = strings.TrimSpace(e)
+		if !knownExperiment(e) {
+			return fmt.Errorf("unknown experiment %q (experiments: %s)",
+				e, strings.Join(experiments, ", "))
+		}
+	}
+	switch o.Scale {
+	case "tiny", "bench", "repro":
+	default:
+		return fmt.Errorf("unknown scale %q (tiny, bench, or repro)", o.Scale)
+	}
+	if o.Apps != "" {
+		for _, name := range strings.Split(o.Apps, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := workload.ByName(name); !ok {
+				return fmt.Errorf("unknown application %q", name)
+			}
+		}
+	}
+	if o.Slowdown <= 0 {
+		return fmt.Errorf("-slowdown %g must be positive", o.Slowdown)
+	}
+	if o.Duration < 0 {
+		return fmt.Errorf("-duration %g is negative", o.Duration)
+	}
+	if !obsv.ValidLogFormat(o.LogFormat) {
+		return fmt.Errorf("unknown -log-format %q (text or json)", o.LogFormat)
+	}
+	if o.Serve != "" && o.Serve == o.Pprof {
+		return fmt.Errorf("-serve and -pprof are both %q; one listener per address", o.Serve)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// valid returns an option set that passes validation; each case mutates one
+// field off it.
+func valid() options {
+	return options{Exps: "all", Scale: "repro", Slowdown: 3}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := validate(valid()); err != nil {
+		t.Fatalf("default-shaped options rejected: %v", err)
+	}
+}
+
+func TestValidateAcceptsCombos(t *testing.T) {
+	o := valid()
+	o.Exps, o.Apps = "fig1, table1 ,fleet", "redis, web-search"
+	o.Serve, o.Pprof, o.LogFormat = "localhost:9090", "localhost:6060", "json"
+	if err := validate(o); err != nil {
+		t.Fatalf("options rejected: %v", err)
+	}
+	o = valid()
+	o.LogFormat = "" // empty means the text default
+	if err := validate(o); err != nil {
+		t.Fatalf("empty log format rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*options)
+		want   string // substring of the one-line usage error
+	}{
+		{"unknown experiment", func(o *options) { o.Exps = "fig1,nope" }, "unknown experiment"},
+		{"unknown scale", func(o *options) { o.Scale = "huge" }, "unknown scale"},
+		{"unknown app", func(o *options) { o.Apps = "redis,nope" }, "unknown application"},
+		{"nonpositive slowdown", func(o *options) { o.Slowdown = 0 }, "-slowdown"},
+		{"negative duration", func(o *options) { o.Duration = -1 }, "negative"},
+		{"unknown log format", func(o *options) { o.LogFormat = "yaml" }, "-log-format"},
+		{"serve and pprof collide", func(o *options) {
+			o.Serve = "localhost:9090"
+			o.Pprof = "localhost:9090"
+		}, "one listener per address"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := valid()
+			tc.mutate(&o)
+			err := validate(o)
+			if err == nil {
+				t.Fatalf("options %+v accepted", o)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("usage error spans lines: %q", err)
+			}
+		})
+	}
+}

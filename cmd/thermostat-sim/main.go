@@ -18,28 +18,40 @@
 // sample period (-slowdown is each tenant's SLO):
 //
 //	thermostat-sim -tenants redis,mysql-tpcc,web-search -slowdown 5
+//
+// Passing -serve (or -pprof) starts the live observability plane for the
+// duration of the run: Prometheus /metrics, /status, /tenants, a
+// memtierd-style /dump?what=accessed census, pprof and expvar — strictly
+// read-side, so exports stay byte-identical (see DESIGN.md):
+//
+//	thermostat-sim -app redis -serve localhost:9090 &
+//	curl -s localhost:9090/metrics
 package main
 
 import (
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the -pprof server
+	"log/slog"
 	"os"
 	"strings"
 
+	"thermostat/internal/cgroup"
 	"thermostat/internal/chaos"
 	"thermostat/internal/core"
 	"thermostat/internal/harness"
 	"thermostat/internal/mem"
+	"thermostat/internal/obsv"
 	"thermostat/internal/pool"
 	"thermostat/internal/report"
 	"thermostat/internal/sim"
 	"thermostat/internal/telemetry"
 	"thermostat/internal/workload"
 )
+
+// logger is the process-wide structured logger, configured by -log-format
+// in main before any run starts.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	var (
@@ -58,7 +70,9 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file of the policy run (open in Perfetto)")
 		metrics   = flag.String("metrics", "", "write per-epoch metric snapshots of the policy run as JSONL")
 		epochs    = flag.Bool("epochs", false, "print the per-epoch metric table for the policy run")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for the duration of the run")
+		serveAddr = flag.String("serve", "", "serve the live observability plane (/metrics, /status, /tenants, /dump, pprof) on this address (e.g. localhost:9090) for the duration of the run")
+		pprofAddr = flag.String("pprof", "", "additional address for the same observability server (kept for compatibility; e.g. localhost:6060)")
+		logFormat = flag.String("log-format", "text", "progress log format: text or json")
 		chaosRate = flag.Float64("chaos-rate", 0, "per-site fault injection probability for the policy run, 0..1 (0 disables; needs a migrating policy)")
 		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for the fault injector's dedicated RNG stream")
 		chaosPerm = flag.Float64("chaos-permanent", 0, "fraction of injected migration faults that are permanent, 0..1")
@@ -79,9 +93,11 @@ func main() {
 		Slowdown: *slowdown, IdleSecs: *idleSecs, Duration: *duration,
 		Tiers: *tiersFlag, Tenants: *tenFlag,
 		ChaosRate: *chaosRate, ChaosPerm: *chaosPerm,
+		Serve: *serveAddr, Pprof: *pprofAddr, LogFormat: *logFormat,
 	}); err != nil {
 		fatal(err)
 	}
+	logger, _ = obsv.NewLogger(os.Stderr, *logFormat) // format vetted above
 	tracker := *trkFlag
 	if tracker == "" {
 		tracker = "poison"
@@ -105,14 +121,32 @@ func main() {
 		}
 	}
 
-	if *pprofAddr != "" {
-		startDebugServer(*pprofAddr)
+	// The observability plane serves on every requested address (-serve and
+	// -pprof are the same full server: metrics + status + pprof + expvar).
+	var pub *obsv.Publisher
+	if *serveAddr != "" || *pprofAddr != "" {
+		pub = obsv.NewPublisher()
+		pub.SetInfo(obsv.Info{
+			Binary: "thermostat-sim", App: *appFlag, Tracker: tracker,
+			Policy: *polFlag, Scale: *scaleName, Seed: *seed, Workers: *workers,
+		})
+		for _, addr := range serveAddrs(*serveAddr, *pprofAddr) {
+			_, bound, err := obsv.Serve(addr, pub)
+			if err != nil {
+				fatal(err)
+			}
+			logger.Info("observability server listening",
+				"addr", "http://"+bound, "endpoints", "/metrics /healthz /status /tenants /dump /debug/pprof")
+		}
+		pub.SetPhase(obsv.PhaseRunning)
+		defer pub.SetPhase(obsv.PhaseDone)
 	}
 
 	if *tenFlag != "" {
 		runFleet(*tenFlag, sc, tracker, *polFlag, *slowdown, *workers, fleetIO{
 			trace: *traceOut, metrics: *metrics, epochs: *epochs,
 			chaosRate: *chaosRate, chaosSeed: *chaosSeed, chaosPerm: *chaosPerm,
+			pub: pub,
 		})
 		return
 	}
@@ -124,14 +158,22 @@ func main() {
 
 	// A collector attaches to the policy run when any telemetry output was
 	// requested. Events are recorded in virtual time, so the files are
-	// byte-identical at any -workers setting.
+	// byte-identical at any -workers setting — and unchanged by -serve,
+	// whose publisher tee is strictly read-side.
 	var col *telemetry.Collector
 	if *traceOut != "" || *metrics != "" || *epochs {
 		col = telemetry.NewCollector()
 	}
+	runLabel := spec.Name + "/" + *polFlag
+	var rec telemetry.Recorder
+	if pub != nil {
+		rec = pub.Recorder(runLabel, col)
+	} else if col != nil {
+		rec = col
+	}
 	attach := func(cfg *sim.Config) {
-		if col != nil {
-			cfg.Recorder = col
+		if rec != nil {
+			cfg.Recorder = rec
 		}
 		// Chaos applies only to the policy run; the all-DRAM baseline arm
 		// below never migrates and stays uninjected.
@@ -141,12 +183,19 @@ func main() {
 			}
 		}
 	}
+	var engHook func(*cgroup.Group, *core.Engine)
+	if pub != nil {
+		engHook = func(_ *cgroup.Group, eng *core.Engine) {
+			eng.EnablePublish()
+			pub.AttachEngine(runLabel, eng)
+		}
+	}
 
 	var runPolicy func() (*harness.Outcome, error)
 	switch *polFlag {
 	case "thermostat":
 		runPolicy = func() (*harness.Outcome, error) {
-			return harness.RunThermostatWith(spec, sc, *slowdown, attach, nil)
+			return harness.RunThermostatWith(spec, sc, *slowdown, attach, engHook)
 		}
 	case "idle-demote":
 		interval := int64(*idleSecs * 1e9 * float64(sc.TimeDilate) / 4)
@@ -159,18 +208,18 @@ func main() {
 		// validate() already vetted the name: a composition policy from the
 		// core registry, paired with -tracker (default poison).
 		runPolicy = func() (*harness.Outcome, error) {
-			return harness.RunComposedWith(spec, sc, tracker, *polFlag, *slowdown, attach)
+			return harness.RunComposedHooked(spec, sc, tracker, *polFlag, *slowdown, attach, engHook)
 		}
 	}
 
 	// The all-DRAM baseline and the policy run are independent simulations;
 	// fan the pair out across -workers goroutines.
-	fmt.Fprintf(os.Stderr, "running %s baseline + %s...\n", spec.Name, *polFlag)
+	logger.Info("running baseline + policy pair", "app", spec.Name, "policy", *polFlag)
 	outs, err := pool.Map(*workers, []pool.Task[*harness.Outcome]{
 		{Label: spec.Name + "/baseline", Run: func() (*harness.Outcome, error) {
 			return harness.RunBaseline(spec, sc)
 		}},
-		{Label: spec.Name + "/" + *polFlag, Run: runPolicy},
+		{Label: runLabel, Run: runPolicy},
 	})
 	if err != nil {
 		fatal(err)
@@ -178,18 +227,17 @@ func main() {
 	base, outcome := outs[0], outs[1]
 
 	if col != nil {
-		publishTelemetry(col)
 		if *traceOut != "" {
 			if err := writeFile(*traceOut, col.WriteChromeTrace); err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *traceOut)
+			logger.Info("wrote Chrome trace (open at https://ui.perfetto.dev)", "path", *traceOut)
 		}
 		if *metrics != "" {
 			if err := writeFile(*metrics, col.WriteJSONL); err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "wrote per-epoch metrics to %s\n", *metrics)
+			logger.Info("wrote per-epoch metrics", "path", *metrics)
 		}
 		if *epochs {
 			fmt.Println(col.EpochTable())
@@ -230,6 +278,10 @@ func main() {
 		summary.AddF("migration_retries", f.Retried)
 		summary.AddF("migration_rollbacks", f.RolledBack)
 		summary.AddF("pages_quarantined", f.Quarantined)
+		if f.Quarantined > 0 {
+			logger.Warn("chaos quarantined pages this run",
+				"quarantined", f.Quarantined, "injected", f.Injected)
+		}
 	}
 	fmt.Println(summary.String())
 
@@ -237,13 +289,29 @@ func main() {
 		res.Cold2M, res.Cold4K, res.Hot2M, res.Hot4K).String())
 }
 
-// fleetIO bundles the output and chaos flags the fleet mode honors.
+// serveAddrs deduplicates the -serve/-pprof addresses, preserving order.
+func serveAddrs(addrs ...string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		out = append(out, a)
+	}
+	return out
+}
+
+// fleetIO bundles the output, chaos, and observability hooks the fleet
+// mode honors.
 type fleetIO struct {
 	trace, metrics string
 	epochs         bool
 	chaosRate      float64
 	chaosSeed      uint64
 	chaosPerm      float64
+	pub            *obsv.Publisher
 }
 
 // runFleet runs the named application models as co-located tenants of one
@@ -267,6 +335,7 @@ func runFleet(names string, sc harness.Scale, tracker, policy string, slowdown f
 	}
 	opt := harness.FleetOptions{
 		Scale: sc, Tenants: tenants, Workers: workers, Baselines: true,
+		Publisher: fio.pub,
 	}
 	if fio.trace != "" || fio.metrics != "" || fio.epochs {
 		opt.Telemetry = &harness.TelemetryOptions{}
@@ -278,26 +347,25 @@ func runFleet(names string, sc harness.Scale, tracker, policy string, slowdown f
 			}
 		}
 	}
-	fmt.Fprintf(os.Stderr, "running %d tenants (%s) under fleet arbitration...\n",
-		len(tenants), names)
+	logger.Info("running tenants under fleet arbitration",
+		"tenants", len(tenants), "apps", names)
 	fo, err := harness.FleetRun(opt)
 	if err != nil {
 		fatal(err)
 	}
 
 	if col := fo.Telemetry; col != nil {
-		publishTelemetry(col)
 		if fio.trace != "" {
 			if err := writeFile(fio.trace, col.WriteChromeTrace); err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", fio.trace)
+			logger.Info("wrote Chrome trace (open at https://ui.perfetto.dev)", "path", fio.trace)
 		}
 		if fio.metrics != "" {
 			if err := writeFile(fio.metrics, col.WriteJSONL); err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "wrote per-epoch metrics to %s\n", fio.metrics)
+			logger.Info("wrote per-epoch metrics", "path", fio.metrics)
 		}
 		if fio.epochs {
 			fmt.Println(col.EpochTable())
@@ -354,8 +422,8 @@ func runNTier(spec workload.Spec, sc harness.Scale, names, tracker, policy strin
 		}
 		tiers = append(tiers, spec)
 	}
-	fmt.Fprintf(os.Stderr, "running %s on %d tiers (%s) at %.0f%% target...\n",
-		spec.Name, len(tiers), names, slowdown)
+	logger.Info("running N-tier hierarchy",
+		"app", spec.Name, "tiers", names, "target_pct", slowdown)
 	var out *harness.Outcome
 	var err error
 	if policy == "thermostat" {
@@ -389,27 +457,6 @@ func runNTier(spec workload.Spec, sc harness.Scale, names, tracker, policy strin
 	fmt.Println(rep.CostTable().String())
 }
 
-// startDebugServer serves net/http/pprof and expvar on addr in the
-// background for live inspection of a long run.
-func startDebugServer(addr string) {
-	go func() {
-		// The default mux already carries /debug/pprof (blank import) and
-		// /debug/vars (expvar).
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintln(os.Stderr, "thermostat-sim: pprof server:", err)
-		}
-	}()
-	fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof (expvar at /debug/vars)\n", addr)
-}
-
-// publishTelemetry exposes the collector's totals through expvar so the
-// -pprof debug server reports them at /debug/vars.
-func publishTelemetry(col *telemetry.Collector) {
-	expvar.Publish("telemetry.events", expvar.Func(func() any { return col.EventCount() }))
-	expvar.Publish("telemetry.epochs", expvar.Func(func() any { return col.Epoch() }))
-	expvar.Publish("telemetry.dropped", expvar.Func(func() any { return col.Dropped() }))
-}
-
 // writeFile creates path and streams write into it.
 func writeFile(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
@@ -424,6 +471,6 @@ func writeFile(path string, write func(io.Writer) error) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "thermostat-sim:", err)
+	logger.Error("thermostat-sim failed", "err", err)
 	os.Exit(1)
 }

@@ -76,6 +76,11 @@ func TestValidateRejections(t *testing.T) {
 			o.Policy = "all-dram"
 		}, "-tenants needs a migrating per-tenant engine"},
 		{"unknown tenant app", func(o *options) { o.Tenants = "redis, nope" }, "unknown tenant application"},
+		{"unknown log format", func(o *options) { o.LogFormat = "yaml" }, "-log-format"},
+		{"serve and pprof collide", func(o *options) {
+			o.Serve = "localhost:9090"
+			o.Pprof = "localhost:9090"
+		}, "one listener per address"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -92,6 +97,24 @@ func TestValidateRejections(t *testing.T) {
 				t.Fatalf("usage error spans lines: %q", err)
 			}
 		})
+	}
+}
+
+func TestValidateAcceptsObservabilityCombos(t *testing.T) {
+	o := valid()
+	o.Serve, o.LogFormat = "localhost:9090", "json"
+	if err := validate(o); err != nil {
+		t.Fatalf("-serve with json logs rejected: %v", err)
+	}
+	o = valid()
+	o.Serve, o.Pprof = "localhost:9090", "localhost:6060"
+	if err := validate(o); err != nil {
+		t.Fatalf("distinct -serve/-pprof rejected: %v", err)
+	}
+	o = valid()
+	o.Pprof = "localhost:6060" // pprof alone, serve empty: no collision
+	if err := validate(o); err != nil {
+		t.Fatalf("-pprof alone rejected: %v", err)
 	}
 }
 

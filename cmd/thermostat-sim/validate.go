@@ -6,6 +6,7 @@ import (
 
 	"thermostat/internal/core"
 	"thermostat/internal/mem"
+	"thermostat/internal/obsv"
 	"thermostat/internal/workload"
 )
 
@@ -23,6 +24,9 @@ type options struct {
 	Tenants   string
 	ChaosRate float64
 	ChaosPerm float64
+	Serve     string
+	Pprof     string
+	LogFormat string
 }
 
 // isCompositionPolicy reports whether name is a placement policy from the
@@ -95,6 +99,12 @@ func validate(o options) error {
 	}
 	if o.ChaosRate > 0 && !migratesPages(o.Policy) {
 		return fmt.Errorf("-chaos-rate needs a migrating policy; all-dram never migrates")
+	}
+	if !obsv.ValidLogFormat(o.LogFormat) {
+		return fmt.Errorf("unknown -log-format %q (text or json)", o.LogFormat)
+	}
+	if o.Serve != "" && o.Serve == o.Pprof {
+		return fmt.Errorf("-serve and -pprof are both %q; one listener per address", o.Serve)
 	}
 	if o.Tenants != "" {
 		// The fleet path builds one two-tier machine per run and gives every

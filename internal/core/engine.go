@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"thermostat/internal/addr"
 	"thermostat/internal/cgroup"
@@ -59,6 +60,11 @@ type Engine struct {
 	lastEstimates []Estimate
 
 	periods stats.Counter
+
+	// pub is the engine's published observability census (see census.go);
+	// publish is flipped once before the run starts and read on every tick.
+	pub     censusPub
+	publish atomic.Bool
 }
 
 // Compose builds an engine from a tracker and a policy. The display name is
@@ -323,6 +329,9 @@ func (e *Engine) Tick(m *sim.Machine, now int64) error {
 	e.pol.EndPeriod()
 	e.periods.Inc()
 	e.lastTick = now
+	if e.publish.Load() {
+		e.publishCensus(now)
+	}
 	return nil
 }
 

@@ -629,6 +629,7 @@ func (r *runner) arbitrate(now int64) error {
 	if err != nil || len(ds) == 0 {
 		return err
 	}
+	sink, _ := r.m.Recorder().(telemetry.TenantSink)
 	for k, i := range idx {
 		st := &r.states[i]
 		sd := ds[k].SlowdownPct
@@ -636,14 +637,21 @@ func (r *runner) arbitrate(now int64) error {
 			st.slowdownSum += sd
 			st.slowdownN++
 		}
-		r.series = append(r.series, telemetry.TenantSnapshot{
+		snap := telemetry.TenantSnapshot{
 			Epoch: r.periods + 1, EndNs: now, Tenant: st.t.Name,
 			GrantBytes: st.grant, UsageBytes: st.t.Group.Usage(),
 			FootprintBytes: ds[k].DemandBytes,
 			SlowdownPct:    sd, SLOPct: st.t.SLOPct, Ops: st.ops,
 			ColdPages:        st.t.Engine.ColdPages(),
 			QuarantinedPages: st.t.Engine.QuarantinedPages(),
-		})
+		}
+		r.series = append(r.series, snap)
+		// The live observability plane (an optional TenantSink recorder)
+		// gets the same snapshot; the standard Collector is not a sink,
+		// so plain runs are untouched.
+		if sink != nil {
+			sink.TenantSnapshot(snap)
+		}
 	}
 	return nil
 }

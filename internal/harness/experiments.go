@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 
+	"thermostat/internal/cgroup"
 	"thermostat/internal/core"
 	"thermostat/internal/mem"
+	"thermostat/internal/obsv"
 	"thermostat/internal/pool"
 	"thermostat/internal/pricing"
 	"thermostat/internal/report"
@@ -33,6 +35,10 @@ type Options struct {
 	// Telemetry.Dir. Traces are in virtual time: byte-identical at any
 	// Workers setting.
 	Telemetry *TelemetryOptions
+	// Publisher, when non-nil, tees every run's recorder stream into the
+	// live observability plane (see internal/obsv). Strictly read-side:
+	// exports stay byte-identical with or without it.
+	Publisher *obsv.Publisher
 }
 
 func (o Options) withDefaults() Options {
@@ -71,17 +77,30 @@ func RunAll(opt Options) (map[string]*AppRun, error) {
 		tasks[i] = pool.Task[*AppRun]{Label: "runall/" + spec.Name, Run: func() (*AppRun, error) {
 			var baseCol, thCol *telemetry.Collector
 			var baseMutate, thMutate func(*sim.Config)
+			var engMutate func(*cgroup.Group, *core.Engine)
 			if opt.Telemetry != nil {
 				baseCol = opt.Telemetry.NewCollector()
 				thCol = opt.Telemetry.NewCollector()
 				baseMutate = func(cfg *sim.Config) { cfg.Recorder = baseCol }
 				thMutate = func(cfg *sim.Config) { cfg.Recorder = thCol }
 			}
+			if opt.Publisher != nil {
+				// Tee through the publisher (collector may be nil; the
+				// tee forwards only when it isn't).
+				baseRec := opt.Publisher.Recorder(spec.Name+"/baseline", baseCol)
+				thRec := opt.Publisher.Recorder(spec.Name+"/thermostat", thCol)
+				baseMutate = func(cfg *sim.Config) { cfg.Recorder = baseRec }
+				thMutate = func(cfg *sim.Config) { cfg.Recorder = thRec }
+				engMutate = func(_ *cgroup.Group, eng *core.Engine) {
+					eng.EnablePublish()
+					opt.Publisher.AttachEngine(spec.Name+"/thermostat", eng)
+				}
+			}
 			base, err := RunBaselineWith(spec, opt.Scale, baseMutate)
 			if err != nil {
 				return nil, err
 			}
-			th, err := RunThermostatWith(spec, opt.Scale, opt.SlowdownPct, thMutate, nil)
+			th, err := RunThermostatWith(spec, opt.Scale, opt.SlowdownPct, thMutate, engMutate)
 			if err != nil {
 				return nil, err
 			}

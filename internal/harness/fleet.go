@@ -7,6 +7,7 @@ import (
 	"thermostat/internal/core"
 	"thermostat/internal/fleet"
 	"thermostat/internal/mem"
+	"thermostat/internal/obsv"
 	"thermostat/internal/pool"
 	"thermostat/internal/pricing"
 	"thermostat/internal/sim"
@@ -101,6 +102,11 @@ type FleetOptions struct {
 	Baselines bool
 	// Telemetry attaches a collector to the fleet machine.
 	Telemetry *TelemetryOptions
+	// Publisher, when non-nil, tees the fleet machine's recorder stream
+	// (and per-tenant arbiter snapshots) into the live observability plane
+	// and publishes each tenant engine's classification census. Strictly
+	// read-side; exports stay byte-identical.
+	Publisher *obsv.Publisher
 	// ConfigMutate, when non-nil, adjusts the machine config before the
 	// machine is built — the hook chaos experiments install their
 	// injector through. A zero-rate chaos config installs no injector, so
@@ -171,6 +177,9 @@ func FleetRun(opt FleetOptions) (*FleetOutcome, error) {
 		col = opt.Telemetry.NewCollector()
 		m.SetRecorder(col)
 	}
+	if opt.Publisher != nil {
+		m.SetRecorder(opt.Publisher.Recorder("fleet", col))
+	}
 
 	rootParams := cgroup.Default()
 	rootParams.SamplePeriodNs = sc.PeriodNs
@@ -197,6 +206,10 @@ func FleetRun(opt FleetOptions) (*FleetOutcome, error) {
 		eng, err := core.ComposeByName(g, t.Tracker, t.Policy, sc.Seed+t.SeedDelta+0x7e)
 		if err != nil {
 			return nil, err
+		}
+		if opt.Publisher != nil {
+			eng.EnablePublish()
+			opt.Publisher.AttachEngine("fleet/"+t.Name, eng)
 		}
 		ten := core.NewTenant(t.Name, app, g, eng)
 		ten.SLOPct = t.SLOPct

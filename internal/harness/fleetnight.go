@@ -59,6 +59,7 @@ func FleetNight(opt Options) (*FleetNightResult, error) {
 	fo, err := FleetRun(FleetOptions{
 		Scale: sc, Tenants: tens, FastBytes: pool,
 		Workers: opt.Workers, Baselines: true, Telemetry: opt.Telemetry,
+		Publisher: opt.Publisher,
 	})
 	if err != nil {
 		return nil, err

@@ -226,6 +226,14 @@ func RunComposed(spec workload.Spec, sc Scale, tracker, policy string, slowdownP
 // RunComposedWith is RunComposed with a machine-config hook.
 func RunComposedWith(spec workload.Spec, sc Scale, tracker, policy string, slowdownPct float64,
 	cfgMutate func(*sim.Config)) (*Outcome, error) {
+	return RunComposedHooked(spec, sc, tracker, policy, slowdownPct, cfgMutate, nil)
+}
+
+// RunComposedHooked is RunComposedWith with an additional engine hook,
+// called after composition and before the run (e.g. to enable the
+// observability census).
+func RunComposedHooked(spec workload.Spec, sc Scale, tracker, policy string, slowdownPct float64,
+	cfgMutate func(*sim.Config), engMutate func(*cgroup.Group, *core.Engine)) (*Outcome, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -248,6 +256,9 @@ func RunComposedWith(spec workload.Spec, sc Scale, tracker, policy string, slowd
 	eng, err := core.ComposeByName(g, tracker, policy, sc.Seed+0x7e)
 	if err != nil {
 		return nil, err
+	}
+	if engMutate != nil {
+		engMutate(g, eng)
 	}
 	res, err := sim.Run(m, app, eng, sim.RunConfig{
 		DurationNs: sc.DurationNs, WarmupNs: sc.WarmupNs, WindowNs: sc.PeriodNs,

@@ -192,6 +192,14 @@ type Recorder interface {
 	Snapshot(Snapshot)
 }
 
+// TenantSink is an optional Recorder extension: recorders that implement it
+// additionally receive the fleet runner's per-tenant arbiter-period
+// snapshots. The standard Collector does not implement it (tenant series
+// live in the fleet result); the live observability plane does.
+type TenantSink interface {
+	TenantSnapshot(TenantSnapshot)
+}
+
 // Nop is the no-op Recorder: it discards everything. It exists for callers
 // that want an always-valid Recorder instead of a nil check.
 type Nop struct{}
@@ -229,6 +237,7 @@ type Collector struct {
 	snaps []Snapshot // ring storage
 	head  int        // index of oldest snapshot
 	n     int        // live snapshots
+	seen  uint64     // total snapshots ever recorded (including evicted)
 
 	epoch uint64 // current epoch stamp
 }
@@ -269,6 +278,7 @@ func (c *Collector) Snapshot(s Snapshot) {
 	// Deep-copy the per-tier slices; callers may reuse their buffers.
 	s.TierAccesses = append([]uint64(nil), s.TierAccesses...)
 	s.TierOccupancy = append([]uint64(nil), s.TierOccupancy...)
+	c.seen++
 	if c.n < c.cfg.MaxSnapshots {
 		c.snaps = append(c.snaps, s)
 		c.n++
@@ -301,3 +311,17 @@ func (c *Collector) Snapshots() []Snapshot {
 
 // EventCount returns the number of buffered events.
 func (c *Collector) EventCount() int { return len(c.events) }
+
+// Bounds returns the collector's resolved memory bounds (defaults filled
+// in). The observability plane mirrors the collector's deterministic drop
+// and ring accounting from these bounds instead of reading the collector
+// concurrently.
+func (c *Collector) Bounds() Config { return c.cfg }
+
+// SnapshotsSeen returns the total number of snapshots ever recorded,
+// including those since evicted from the ring.
+func (c *Collector) SnapshotsSeen() uint64 { return c.seen }
+
+// RingHighWater returns the maximum number of snapshots the ring has held
+// at once (its high-water mark, capped at MaxSnapshots).
+func (c *Collector) RingHighWater() int { return c.n }

@@ -73,6 +73,53 @@ func TestCollectorSnapshotRing(t *testing.T) {
 	}
 }
 
+func TestCollectorRingWrapAccounting(t *testing.T) {
+	const cap = 5
+	c := NewCollectorWith(Config{MaxEvents: 3, MaxSnapshots: cap})
+	if got := c.Bounds(); got.MaxEvents != 3 || got.MaxSnapshots != cap {
+		t.Fatalf("Bounds = %+v, want {3 %d}", got, cap)
+	}
+
+	// Fill well past the ring capacity, checking accounting at each step.
+	for i := uint64(1); i <= 3*cap; i++ {
+		c.Snapshot(Snapshot{Epoch: i})
+		if c.SnapshotsSeen() != i {
+			t.Fatalf("after %d snapshots: SnapshotsSeen = %d", i, c.SnapshotsSeen())
+		}
+		wantHW := int(i)
+		if wantHW > cap {
+			wantHW = cap
+		}
+		if c.RingHighWater() != wantHW {
+			t.Fatalf("after %d snapshots: RingHighWater = %d, want %d", i, c.RingHighWater(), wantHW)
+		}
+		// Oldest-first ordering must hold across every wrap position.
+		snaps := c.Snapshots()
+		first := i - uint64(len(snaps)) + 1
+		for j, s := range snaps {
+			if want := first + uint64(j); s.Epoch != want {
+				t.Fatalf("after %d snapshots: snaps[%d].Epoch = %d, want %d", i, j, s.Epoch, want)
+			}
+		}
+	}
+
+	// Snapshot eviction never touches the event drop counter.
+	if c.Dropped() != 0 {
+		t.Fatalf("Dropped = %d after ring wrap, want 0", c.Dropped())
+	}
+	for i := 0; i < 10; i++ {
+		c.Event(Event{Kind: KindFaultInjected, TimeNs: int64(i)})
+	}
+	if c.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", c.Dropped())
+	}
+	// And further wraps leave the drop count stable.
+	c.Snapshot(Snapshot{Epoch: 3*cap + 1})
+	if c.Dropped() != 7 || c.SnapshotsSeen() != 3*cap+1 {
+		t.Fatalf("Dropped = %d SnapshotsSeen = %d after extra wrap", c.Dropped(), c.SnapshotsSeen())
+	}
+}
+
 func TestCollectorSnapshotCopiesSlices(t *testing.T) {
 	c := NewCollector()
 	occ := []uint64{100, 200}

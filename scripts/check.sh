@@ -89,4 +89,11 @@ go run ./cmd/thermostat-sim -tenants redis,web-search -scale tiny -duration 4 \
 	-slowdown 5 >/dev/null
 echo "fleet: arbiter invariants hold; single-tenant fleet is bit-identical to solo"
 
+echo "== observability gate"
+# Live plane: mid-run /metrics satisfies the strict parser, /status and
+# /healthz answer in flight, json logs are machine-parseable, and exports
+# stay byte-identical with -serve attached (see scripts/obsv_gate.sh).
+go test -count=1 -run 'TestServeScrapeMidRun|TestMetricsGoldenScrape|TestTeeForwardsExactly' ./internal/obsv
+./scripts/obsv_gate.sh
+
 echo "check: OK"

@@ -1,0 +1,73 @@
+#!/bin/sh
+# Observability gate (called by scripts/check.sh and CI): the live plane is
+# strictly read-side, so a seeded run scraped mid-flight must export
+# byte-identical trace/metrics files to the same run without -serve — at a
+# different worker count, to pin both invariances at once. Along the way:
+#  1. /healthz answers while the run is in flight;
+#  2. the mid-run /metrics body satisfies the strict parser (promlint);
+#  3. /status reports phase=running with the run's info block;
+#  4. -log-format json emits one JSON object per stderr line, end to end.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+
+go build -o "$dir/thermostat-sim" ./cmd/thermostat-sim
+go build -o "$dir/promlint" ./cmd/promlint
+
+# Port 0: the kernel picks a free port; the bound address is announced in
+# the first JSON log line.
+"$dir/thermostat-sim" -app redis -scale tiny -duration 12 -workers 8 \
+	-serve localhost:0 -log-format json \
+	-trace "$dir/s.trace.json" -metrics "$dir/s.metrics.jsonl" \
+	>/dev/null 2>"$dir/serve.log" &
+serve_pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr="$(sed -n 's/.*"addr":"http:\/\/\([^"]*\)".*/\1/p' "$dir/serve.log" | head -n1)"
+	[ -n "$addr" ] && break
+	if ! kill -0 "$serve_pid" 2>/dev/null; then
+		echo "obsv gate: run exited before announcing the server" >&2
+		cat "$dir/serve.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+	echo "obsv gate: server address never appeared in the log" >&2
+	exit 1
+fi
+
+# Mid-run scrape: the run above has several seconds of wall clock left.
+body="$(curl -fsS "http://$addr/healthz")"
+[ "$body" = "ok" ] || { echo "obsv gate: /healthz said '$body'" >&2; exit 1; }
+curl -fsS "http://$addr/metrics" >"$dir/scrape.prom"
+curl -fsS "http://$addr/status" >"$dir/status.json"
+curl -fsS "http://$addr/dump?what=accessed" >/dev/null
+
+"$dir/promlint" "$dir/scrape.prom"
+grep -q '^thermostat_run_info{' "$dir/scrape.prom"
+grep -q '^thermostat_accesses_total{' "$dir/scrape.prom"
+jq -e '.phase == "running" and .info.app == "redis"' "$dir/status.json" >/dev/null
+
+wait "$serve_pid"
+serve_pid=""
+
+# Every progress line under -log-format json must be a JSON object.
+jq -es 'all(type == "object")' "$dir/serve.log" >/dev/null || {
+	echo "obsv gate: non-JSON line in -log-format json stderr" >&2
+	cat "$dir/serve.log" >&2
+	exit 1
+}
+
+"$dir/thermostat-sim" -app redis -scale tiny -duration 12 -workers 1 \
+	-trace "$dir/n.trace.json" -metrics "$dir/n.metrics.jsonl" >/dev/null
+cmp "$dir/s.trace.json" "$dir/n.trace.json"
+cmp "$dir/s.metrics.jsonl" "$dir/n.metrics.jsonl"
+
+echo "obsv: mid-run scrape valid; exports unchanged by -serve at any worker count"
