@@ -11,7 +11,9 @@
 // (design-choice studies), ntier (DRAM/CXL/NVM sweep; not part of 'all'),
 // matrix (tracker × policy × workload × topology zoo; not part of 'all'),
 // fleet (multi-tenant datacenter-night arbitration scenario; not part of
-// 'all' — writes results/fleet_night.{txt,csv}).
+// 'all' — writes results/fleet_night.{txt,csv}), scale (simulator scaling
+// sweep, 1 GB to 1 TB dense vs sparse; not part of 'all' — writes
+// results/BENCH_scale.{json,txt} and applies the scaling acceptance gate).
 //
 // Independent runs fan out across -workers goroutines (default: all cores).
 // Results are bit-for-bit identical at any worker count; -workers 1 is the
@@ -19,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -49,7 +52,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		duration  = flag.Float64("duration", 0, "override run length in simulated seconds")
 		workers   = flag.Int("workers", 0, "goroutines fanning independent runs out (0 = all cores, 1 = serial; results are identical at any setting)")
-		outDir    = flag.String("results", "results", "directory the fleet experiment writes fleet_night.{txt,csv} into")
+		outDir    = flag.String("results", "results", "directory the fleet and scale experiments write their committed artifacts into")
 		serveAddr = flag.String("serve", "", "serve the live observability plane (/metrics, /status, /tenants, /dump, pprof) on this address (e.g. localhost:9090) for the duration of the run")
 		pprofAddr = flag.String("pprof", "", "additional address for the same observability server (e.g. localhost:6060)")
 		logFormat = flag.String("log-format", "text", "progress log format: text or json")
@@ -334,6 +337,13 @@ func main() {
 		}
 		logger.Info("wrote fleet night artifacts", "txt", txt, "csv", csvPath)
 	}
+	// The scaling sweep is opt-in: it benchmarks the simulator itself
+	// (1 GB -> 1 TB, dense vs sparse tables, sharded scans) rather than the
+	// paper's evaluation, applies the acceptance gate, and writes the
+	// committed artifact pair results/BENCH_scale.{json,txt}.
+	if want["scale"] {
+		runScale(*seed, *outDir, emit)
+	}
 	// The N-tier sweep is opt-in: it is not part of the paper's evaluation,
 	// so 'all' (the paper regeneration) does not include it.
 	if want["ntier"] {
@@ -346,6 +356,76 @@ func main() {
 			emit("ntier-traffic-"+rep.App, rep.TrafficTable())
 			emit("ntier-cost-"+rep.App, rep.CostTable())
 		}
+	}
+}
+
+// The scaling acceptance gate (ISSUE criteria): at 1 TB, sparse state
+// bytes per simulated GB within 10% of the dense baseline's, and sparse
+// ns/op within 2x of the 1 GB figure.
+const (
+	scaleGateStateFrac = 0.10
+	scaleGateNsOpRatio = 2.0
+)
+
+// scaleArtifact is the machine-readable shape results/BENCH_scale.json pins.
+type scaleArtifact struct {
+	Workload      string                `json:"workload"`
+	Seed          uint64                `json:"seed"`
+	ShardWorkers  int                   `json:"shard_workers"`
+	GateStateFrac float64               `json:"gate_max_state_frac"`
+	GateNsOpRatio float64               `json:"gate_max_nsop_ratio"`
+	GatePass      bool                  `json:"gate_pass"`
+	GateError     string                `json:"gate_error,omitempty"`
+	Points        []*harness.ScalePoint `json:"points"`
+}
+
+// runScale runs the 1 GB -> 1 TB scaling sweep, prints the table, applies
+// the acceptance gate, and pins results/BENCH_scale.{json,txt}.
+func runScale(seed uint64, outDir string, emit func(string, *report.Table)) {
+	logger.Info("running scale (simulator scaling sweep, 1 GB -> 1 TB)")
+	sc := harness.ScaleBenchProfile()
+	sc.Seed = seed
+	points, err := harness.ScaleSweep(sc, harness.ScaleFootprints(), harness.ScaleShardWorkers)
+	if err != nil {
+		fatal(err)
+	}
+	tbl := harness.ScaleTable(points)
+	emit("scale", tbl)
+	gateErr := harness.CheckScaleGate(points, scaleGateStateFrac, scaleGateNsOpRatio)
+	gateLine := fmt.Sprintf("gate: PASS (sparse state/GB <= %.0f%% of dense at 1 TB; ns/op <= %.1fx the 1 GB figure)",
+		scaleGateStateFrac*100, scaleGateNsOpRatio)
+	if gateErr != nil {
+		gateLine = "gate: FAIL: " + gateErr.Error()
+	}
+	fmt.Println(gateLine)
+
+	art := scaleArtifact{
+		Workload: "scale-synth", Seed: seed,
+		ShardWorkers:  harness.ScaleShardWorkers,
+		GateStateFrac: scaleGateStateFrac, GateNsOpRatio: scaleGateNsOpRatio,
+		GatePass: gateErr == nil, Points: points,
+	}
+	if gateErr != nil {
+		art.GateError = gateErr.Error()
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	js, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	jsonPath := filepath.Join(outDir, "BENCH_scale.json")
+	if err := os.WriteFile(jsonPath, append(js, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	txtPath := filepath.Join(outDir, "BENCH_scale.txt")
+	if err := os.WriteFile(txtPath, []byte(tbl.String()+"\n"+gateLine+"\n"), 0o644); err != nil {
+		fatal(err)
+	}
+	logger.Info("wrote scaling artifacts", "json", jsonPath, "txt", txtPath)
+	if gateErr != nil {
+		fatal(gateErr)
 	}
 }
 

@@ -27,7 +27,7 @@ type options struct {
 var experiments = []string{
 	"all", "fig1", "naive", "fig2", "table1", "table2", "fig3", "colddata",
 	"fig11", "table3", "table4", "baselines", "ablations",
-	"ntier", "matrix", "fleet",
+	"ntier", "matrix", "fleet", "scale",
 }
 
 func knownExperiment(name string) bool {

@@ -6,6 +6,13 @@
 //	thermostat-sim -app cassandra-write-heavy -policy idle-demote
 //	thermostat-sim -app mysql-tpcc -policy all-dram -duration 60
 //
+// Passing -footprint rescales the application model to a target total size,
+// and -sparse/-shard-workers select the region-grain page table and sharded
+// tracker scans that keep terabyte footprints simulable (see DESIGN.md,
+// "Scaling to terabytes"; results are identical at any -shard-workers):
+//
+//	thermostat-sim -app scale-synth -footprint 1T -sparse -shard-workers 8
+//
 // Passing -tiers runs the engine over an N-tier hierarchy instead of the
 // paper's two tiers, and additionally reports the per-tier-pair migration
 // traffic matrix and the per-tier cost breakdown:
@@ -61,6 +68,9 @@ func main() {
 		slowdown  = flag.Float64("slowdown", 3, "tolerable slowdown percent (thermostat)")
 		idleSecs  = flag.Float64("idle-window", 10, "idle window seconds (idle-demote)")
 		scaleName = flag.String("scale", "repro", "scale profile: tiny, bench, repro")
+		footprint = flag.String("footprint", "", "rescale the application model to this total footprint (e.g. 64G, 1T; binary units)")
+		sparse    = flag.Bool("sparse", false, "use the sparse region-grain page table (cold spans collapse into summaries; exports unchanged)")
+		shardWork = flag.Int("shard-workers", 0, "goroutines for sharded tracker scans (0/1 = serial; results are identical at any setting)")
 		duration  = flag.Float64("duration", 0, "override run length in (simulated) seconds")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		tiersFlag = flag.String("tiers", "", "comma-separated device presets for an N-tier run, fastest first (presets: "+strings.Join(mem.PresetNames(), ", ")+")")
@@ -94,6 +104,7 @@ func main() {
 		Tiers: *tiersFlag, Tenants: *tenFlag,
 		ChaosRate: *chaosRate, ChaosPerm: *chaosPerm,
 		Serve: *serveAddr, Pprof: *pprofAddr, LogFormat: *logFormat,
+		Footprint: *footprint, ShardWorkers: *shardWork,
 	}); err != nil {
 		fatal(err)
 	}
@@ -104,6 +115,10 @@ func main() {
 	}
 
 	spec, _ := workload.ByName(*appFlag)
+	if *footprint != "" {
+		target, _ := workload.ParseSize(*footprint) // vetted above
+		spec = spec.WithFootprint(target)
+	}
 	var sc harness.Scale
 	switch *scaleName {
 	case "tiny":
@@ -114,6 +129,8 @@ func main() {
 		sc = harness.Repro()
 	}
 	sc.Seed = *seed
+	sc.Sparse = *sparse
+	sc.ShardWorkers = *shardWork
 	if *duration > 0 {
 		sc.DurationNs = int64(*duration * 1e9)
 		if sc.WarmupNs >= sc.DurationNs {

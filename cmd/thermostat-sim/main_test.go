@@ -77,6 +77,13 @@ func TestValidateRejections(t *testing.T) {
 		}, "-tenants needs a migrating per-tenant engine"},
 		{"unknown tenant app", func(o *options) { o.Tenants = "redis, nope" }, "unknown tenant application"},
 		{"unknown log format", func(o *options) { o.LogFormat = "yaml" }, "-log-format"},
+		{"unparseable footprint", func(o *options) { o.Footprint = "lots" }, "-footprint"},
+		{"nonpositive footprint", func(o *options) { o.Footprint = "-4G" }, "-footprint"},
+		{"footprint with tenants", func(o *options) {
+			o.Footprint = "64G"
+			o.Tenants = "redis,web-search"
+		}, "ambiguous"},
+		{"negative shard workers", func(o *options) { o.ShardWorkers = -1 }, "-shard-workers"},
 		{"serve and pprof collide", func(o *options) {
 			o.Serve = "localhost:9090"
 			o.Pprof = "localhost:9090"
@@ -115,6 +122,28 @@ func TestValidateAcceptsObservabilityCombos(t *testing.T) {
 	o.Pprof = "localhost:6060" // pprof alone, serve empty: no collision
 	if err := validate(o); err != nil {
 		t.Fatalf("-pprof alone rejected: %v", err)
+	}
+}
+
+func TestValidateAcceptsScalingCombos(t *testing.T) {
+	for _, fp := range []string{"512m", "64G", "1.5TiB", "1t"} {
+		o := valid()
+		o.Footprint = fp
+		if err := validate(o); err != nil {
+			t.Fatalf("-footprint %s rejected: %v", fp, err)
+		}
+	}
+	o := valid()
+	o.App, o.Footprint, o.ShardWorkers = "scale-synth", "1T", 8
+	if err := validate(o); err != nil {
+		t.Fatalf("scaling combo rejected: %v", err)
+	}
+	// Sharded scans compose with deep hierarchies and fleets: the knob is
+	// plumbed through Scale, and unsharded paths simply ignore it.
+	o = valid()
+	o.Tenants, o.ShardWorkers = "redis,web-search", 4
+	if err := validate(o); err != nil {
+		t.Fatalf("shard workers with tenants rejected: %v", err)
 	}
 }
 

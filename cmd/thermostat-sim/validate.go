@@ -13,20 +13,22 @@ import (
 // options captures every flag value that validation inspects, so the
 // validator is a pure function the tests drive directly.
 type options struct {
-	App       string
-	Policy    string
-	Tracker   string
-	Scale     string
-	Slowdown  float64
-	IdleSecs  float64
-	Duration  float64
-	Tiers     string
-	Tenants   string
-	ChaosRate float64
-	ChaosPerm float64
-	Serve     string
-	Pprof     string
-	LogFormat string
+	App          string
+	Policy       string
+	Tracker      string
+	Scale        string
+	Slowdown     float64
+	IdleSecs     float64
+	Duration     float64
+	Tiers        string
+	Tenants      string
+	ChaosRate    float64
+	ChaosPerm    float64
+	Serve        string
+	Pprof        string
+	LogFormat    string
+	Footprint    string
+	ShardWorkers int
 }
 
 // isCompositionPolicy reports whether name is a placement policy from the
@@ -84,6 +86,17 @@ func validate(o options) error {
 	}
 	if o.Duration < 0 {
 		return fmt.Errorf("-duration %g is negative", o.Duration)
+	}
+	if o.Footprint != "" {
+		if _, err := workload.ParseSize(o.Footprint); err != nil {
+			return fmt.Errorf("-footprint: %v", err)
+		}
+		if o.Tenants != "" {
+			return fmt.Errorf("-footprint is ambiguous with -tenants; size each tenant's model instead")
+		}
+	}
+	if o.ShardWorkers < 0 {
+		return fmt.Errorf("-shard-workers %d is negative (0 = serial)", o.ShardWorkers)
 	}
 	if (o.Policy == "thermostat" || isCompositionPolicy(o.Policy)) && o.Slowdown <= 0 {
 		return fmt.Errorf("-slowdown %g must be positive for -policy %s", o.Slowdown, o.Policy)

@@ -170,3 +170,10 @@ func (t *Trap) ForgetRange(r addr.Range) {
 		}
 	}
 }
+
+// StateBytes estimates the trap's footprint-dependent state: the per-page
+// fault-count map. Only faulted (i.e. sampled or demoted) pages have
+// entries, so this scales with monitoring activity, not with footprint.
+func (t *Trap) StateBytes() uint64 {
+	return uint64(len(t.counts)) * 24
+}

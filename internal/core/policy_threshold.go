@@ -60,6 +60,13 @@ func NewThresholdPolicy() *ThresholdPolicy {
 // Name implements Policy.
 func (p *ThresholdPolicy) Name() string { return "threshold" }
 
+// StateBytes reports the policy's resident metadata: the cold set and the
+// sink idle-streak map. Both hold one entry per cold page, not per mapped
+// page, so a mostly-untouched terabyte costs the policy almost nothing.
+func (p *ThresholdPolicy) StateBytes() uint64 {
+	return uint64(len(p.cold))*16 + uint64(len(p.idleStreak))*16
+}
+
 // Attach implements Policy.
 func (p *ThresholdPolicy) Attach(m *sim.Machine, g *cgroup.Group, tr Tracker) error {
 	p.m = m

@@ -38,6 +38,11 @@ type BitTracker struct {
 	flag    pagetable.Flags
 	scanner *kstaled.Scanner
 
+	// shards/shardWorkers are forwarded to the kstaled scanner (which may
+	// not exist yet when SetSharding is called — Attach re-applies them).
+	shards       int
+	shardWorkers int
+
 	scope func() []addr.Range
 
 	// scannedTick guards the one scan-and-clear pass per sampling period;
@@ -69,7 +74,27 @@ func (t *BitTracker) Attach(m *sim.Machine, view View) error {
 	t.m = m
 	t.view = view
 	t.scanner = kstaled.NewWithFlag(m.PageTable(), m.TLB(), m.VPID(), 0, t.flag)
+	t.scanner.SetSharding(t.shards, t.shardWorkers)
 	return nil
+}
+
+// SetSharding partitions the scanner's clear-and-record pass into shards
+// contiguous region-sequence chunks collected on up to workers goroutines;
+// results are bit-identical at any setting (see kstaled.Scanner.SetSharding).
+func (t *BitTracker) SetSharding(shards, workers int) {
+	t.shards, t.shardWorkers = shards, workers
+	if t.scanner != nil {
+		t.scanner.SetSharding(shards, workers)
+	}
+}
+
+// StateBytes reports the tracker's resident metadata (the scanner's
+// per-region scan histories).
+func (t *BitTracker) StateBytes() uint64 {
+	if t.scanner == nil {
+		return 0
+	}
+	return t.scanner.StateBytes()
 }
 
 // SetScope implements Tracker. Like the real kstaled, the scan pass itself
@@ -131,12 +156,15 @@ func (t *BitTracker) MeasureCold(cold []addr.Virt, intervalSec float64) []Measur
 }
 
 // Estimates implements Tracker: one estimate per in-scope top-tier 2MB
-// page, in ascending base order.
+// region, in ascending base order. On a dense table every region is one
+// leaf (the old per-leaf sweep exactly); on a sparse table a multi-page
+// span yields one estimate at its base — region-grain fidelity matching
+// the scanner's region-grain histories.
 func (t *BitTracker) Estimates(intervalSec float64) ([]Estimate, error) {
 	t.ensureScanned()
 	ranges := scopeRangesOf(t.scope)
 	var ests []Estimate
-	t.m.PageTable().Scan(func(base addr.Virt, e *pagetable.Entry, lvl pagetable.Level) {
+	t.m.PageTable().ScanRegions(func(base addr.Virt, pages int, e *pagetable.Entry, lvl pagetable.Level) {
 		if lvl != pagetable.Level2M || !scopeContains(base, ranges) || t.view.IsCold(base) {
 			return
 		}

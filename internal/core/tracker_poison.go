@@ -8,6 +8,7 @@ import (
 	"thermostat/internal/cgroup"
 	"thermostat/internal/kstaled"
 	"thermostat/internal/pagetable"
+	"thermostat/internal/pool"
 	"thermostat/internal/rng"
 	"thermostat/internal/sim"
 	"thermostat/internal/stats"
@@ -22,6 +23,12 @@ const (
 	poisonCostNs   = 500
 	perLeafScanNs  = kstaled.DefaultEntryCostNs
 )
+
+// reabsorbStreak is how many consecutive samples of a fast-tier page must
+// find zero accessed children before the tracker folds the page back into a
+// span summary (sparse tables only). Two consecutive empty samples span at
+// least one full scan interval of inactivity.
+const reabsorbStreak = 2
 
 // sample tracks one huge page through a sampling cycle.
 type sample struct {
@@ -61,6 +68,18 @@ type PoisonTracker struct {
 	// noPrefilter disables the §3.2 Accessed-bit pre-filter (ablation).
 	noPrefilter bool
 
+	// shards/shardWorkers partition the split scan's candidate collection
+	// into contiguous region-sequence chunks run concurrently (<= 1 =
+	// serial). Chunks merge in shard-index order and every rng draw happens
+	// after the merge, so runs are bit-identical at any setting.
+	shards       int
+	shardWorkers int
+
+	// idleStreak counts consecutive samples in which a restored fast-tier
+	// page showed zero accessed children; at reabsorbStreak the page folds
+	// back into a span summary (sparse tables only).
+	idleStreak map[addr.Virt]int
+
 	sampled stats.Counter
 }
 
@@ -75,7 +94,15 @@ func NewPoisonTracker(group *cgroup.Group, seed uint64) *PoisonTracker {
 		splitCohort:    make(map[addr.Virt]*sample),
 		poisonedCohort: make(map[addr.Virt]*sample),
 		seen:           make(map[addr.Virt]uint64),
+		idleStreak:     make(map[addr.Virt]int),
 	}
+}
+
+// SetSharding partitions the tracker's split scan into shards contiguous
+// chunks of the region sequence, collected on up to workers goroutines.
+// Values <= 1 select the serial path.
+func (t *PoisonTracker) SetSharding(shards, workers int) {
+	t.shards, t.shardWorkers = shards, workers
 }
 
 // Name implements Tracker.
@@ -241,8 +268,34 @@ func (t *PoisonTracker) restore(s *sample) error {
 			return err
 		}
 		t.snapshot(s.base)
+		return nil
+	}
+	if pt.SpansEnabled() {
+		// Idle-streak reabsorb: a fast-tier page whose sample found no
+		// accessed children is a candidate to fold back into a span summary.
+		// Cold pages never qualify (they stay PMD-poisoned for monitoring,
+		// and spans carry no poison); an accessed page resets its streak.
+		if s.nAccessed == 0 {
+			t.idleStreak[s.base]++
+			if t.idleStreak[s.base] >= reabsorbStreak {
+				delete(t.idleStreak, s.base)
+				pt.Reabsorb(s.base)
+			}
+		} else {
+			delete(t.idleStreak, s.base)
+		}
 	}
 	return nil
+}
+
+// StateBytes reports the tracker's resident metadata: both pipeline cohorts,
+// the fault-count snapshot map and the idle-streak map. With region-grain
+// sampling the snapshot map holds entries only for pages that were actually
+// sampled or cold, so it stays far below one entry per mapped page.
+func (t *PoisonTracker) StateBytes() uint64 {
+	// sample record + map slot: ~64 bytes; uint64/int map slots: ~24/16.
+	return uint64(len(t.splitCohort)+len(t.poisonedCohort))*64 +
+		uint64(len(t.seen))*24 + uint64(len(t.idleStreak))*16
 }
 
 // Arm implements Tracker: run the poison scan over the cohort split last
@@ -255,18 +308,61 @@ func (t *PoisonTracker) Arm() error {
 	return t.scanSplit()
 }
 
-// scanSplit selects a random sampleFraction of all huge pages — hot or cold,
-// the sampler is agnostic (§3.2) — and splits them so their 4KB children can
-// be profiled individually. Pages already mid-pipeline are excluded.
-func (t *PoisonTracker) scanSplit() error {
+// splitCandidates returns the in-scope, non-inflight 2MB-grain sampling
+// candidates in address order. On a dense table this is exactly the old
+// per-leaf sweep; on a sparse table a multi-page span contributes one
+// candidate — its base page, which Split carves out if selected — so the
+// scan costs O(regions), not O(pages). With sharding enabled the region
+// sequence is collected in contiguous chunks concurrently and concatenated
+// in shard-index order, which by the ScanRegionsShard contract reproduces
+// the serial sequence exactly.
+func (t *PoisonTracker) splitCandidates() []addr.Virt {
 	pt := t.m.PageTable()
 	ranges := t.scopeRanges()
-	var candidates []addr.Virt
-	pt.Scan(func(base addr.Virt, entry *pagetable.Entry, lvl pagetable.Level) {
-		if lvl == pagetable.Level2M && !t.inflight(base) && scopeContains(base, ranges) {
-			candidates = append(candidates, base)
+	want := func(base addr.Virt, lvl pagetable.Level) bool {
+		return lvl == pagetable.Level2M && !t.inflight(base) && scopeContains(base, ranges)
+	}
+	if t.shards <= 1 {
+		var out []addr.Virt
+		pt.ScanRegions(func(base addr.Virt, pages int, e *pagetable.Entry, lvl pagetable.Level) {
+			if want(base, lvl) {
+				out = append(out, base)
+			}
+		})
+		return out
+	}
+	tasks := make([]pool.Task[[]addr.Virt], t.shards)
+	for i := 0; i < t.shards; i++ {
+		shard := i
+		tasks[i] = pool.Task[[]addr.Virt]{
+			Label: fmt.Sprintf("split-shard/%d", shard),
+			Run: func() ([]addr.Virt, error) {
+				var out []addr.Virt
+				pt.ScanRegionsShard(shard, t.shards, func(base addr.Virt, pages int, e *pagetable.Entry, lvl pagetable.Level) {
+					if want(base, lvl) {
+						out = append(out, base)
+					}
+				})
+				return out, nil
+			},
 		}
-	})
+	}
+	parts, _ := pool.Map(t.shardWorkers, tasks) // collect-only tasks cannot fail
+	var out []addr.Virt
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// scanSplit selects a random sampleFraction of all huge pages — hot or cold,
+// the sampler is agnostic (§3.2) — and splits them so their 4KB children can
+// be profiled individually. Pages already mid-pipeline are excluded. All
+// mutations (splits, cohort inserts, rng draws) happen after the candidate
+// merge, serially in sampled order.
+func (t *PoisonTracker) scanSplit() error {
+	pt := t.m.PageTable()
+	candidates := t.splitCandidates()
 	var daemon int64 = int64(len(candidates)) * perLeafScanNs
 	if len(candidates) == 0 {
 		t.m.ChargeDaemon(daemon)

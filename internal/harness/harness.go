@@ -39,6 +39,16 @@ type Scale struct {
 	WarmupNs   int64
 	// Seed drives all randomness.
 	Seed uint64
+	// Sparse enables region-grain (span) page state on the machines the
+	// profile builds. Off by default: dense tables are the pinned-golden
+	// configuration.
+	Sparse bool
+	// ShardWorkers > 1 shards the engine's tracker scans across that many
+	// contiguous region-sequence chunks collected on as many goroutines.
+	// Any value — including the 0 serial default — produces bit-identical
+	// runs (the shard merge is order-preserving and all rng draws happen
+	// after it), so this is purely a wall-clock knob.
+	ShardWorkers int
 }
 
 // Validate rejects degenerate profiles.
@@ -49,7 +59,18 @@ func (s Scale) Validate() error {
 	if s.WarmupNs < 0 || s.WarmupNs >= s.DurationNs {
 		return fmt.Errorf("harness: warmup %d outside run %d", s.WarmupNs, s.DurationNs)
 	}
+	if s.ShardWorkers < 0 {
+		return fmt.Errorf("harness: negative shard workers %d", s.ShardWorkers)
+	}
 	return nil
+}
+
+// applyEngineScale applies the profile's engine-level knobs (intra-run scan
+// sharding) to a freshly composed engine.
+func (s Scale) applyEngineScale(eng *core.Engine) {
+	if s.ShardWorkers > 1 {
+		eng.SetSharding(s.ShardWorkers, s.ShardWorkers)
+	}
 }
 
 // Repro is the full-fidelity profile cmd/repro uses: 1/16 footprints, 4x
@@ -114,6 +135,7 @@ func (s Scale) MachineConfig(spec workload.Spec, hugeHost bool) sim.Config {
 	cfg.SlowSpec.ReadLatency = 1000 * s.TimeDilate
 	cfg.SlowSpec.WriteLatency = 1000 * s.TimeDilate
 	cfg.VM.HostHugePages = hugeHost
+	cfg.Sparse = s.Sparse
 	return cfg
 }
 
@@ -204,6 +226,7 @@ func RunThermostatWith(spec workload.Spec, sc Scale, slowdownPct float64,
 		return nil, err
 	}
 	eng := core.NewEngine(g, sc.Seed+0x7e)
+	sc.applyEngineScale(eng)
 	if engMutate != nil {
 		engMutate(g, eng)
 	}
@@ -257,6 +280,7 @@ func RunComposedHooked(spec workload.Spec, sc Scale, tracker, policy string, slo
 	if err != nil {
 		return nil, err
 	}
+	sc.applyEngineScale(eng)
 	if engMutate != nil {
 		engMutate(g, eng)
 	}

@@ -11,8 +11,11 @@
 package kstaled
 
 import (
+	"fmt"
+
 	"thermostat/internal/addr"
 	"thermostat/internal/pagetable"
+	"thermostat/internal/pool"
 	"thermostat/internal/stats"
 	"thermostat/internal/tlb"
 )
@@ -21,7 +24,10 @@ import (
 // clear the Accessed bit plus the amortized invlpg.
 const DefaultEntryCostNs = 150
 
-// PageState tracks one leaf page's scan history.
+// PageState tracks one region's scan history. A region is a single radix
+// leaf on a dense table; on a sparse table it can also be a multi-page span
+// summary, in which case Pages > 1 and the history describes the whole span
+// through its aggregate Accessed bit.
 type PageState struct {
 	// IdleScans is the number of consecutive completed scans in which the
 	// page's Accessed bit stayed clear.
@@ -32,6 +38,9 @@ type PageState struct {
 	HotStreak int
 	// Level is the leaf grain at the last scan.
 	Level pagetable.Level
+	// Pages is the region's size in Level-grain pages at the last scan
+	// (1 for every radix leaf, the span length for a span summary).
+	Pages int
 }
 
 // Scanner is one kstaled instance over an address space.
@@ -46,6 +55,11 @@ type Scanner struct {
 	flag pagetable.Flags
 
 	state map[addr.Virt]*PageState
+
+	// shards/workers partition the collect half of a scan pass into
+	// contiguous region-sequence chunks run concurrently (<= 1 = serial).
+	shards  int
+	workers int
 
 	scans       stats.Counter
 	entryCostNs int64
@@ -72,9 +86,20 @@ func NewWithFlag(pt *pagetable.Table, tl *tlb.TLB, vpid tlb.VPID, entryCostNs in
 	}
 }
 
+// SetSharding partitions the scan-and-clear pass into shards contiguous
+// chunks of the region sequence, collected on up to workers goroutines.
+// Chunk results are concatenated in shard-index order and all scan-history
+// and TLB updates are applied serially from the merged sequence, so any
+// (shards, workers) setting — including the serial default — produces
+// bit-identical scan results. Values <= 1 select the serial path.
+func (s *Scanner) SetSharding(shards, workers int) {
+	s.shards, s.workers = shards, workers
+}
+
 // Result summarizes one scan pass.
 type Result struct {
-	// Scanned is the number of leaf entries visited.
+	// Scanned is the number of regions (leaf entries and span summaries)
+	// visited; on a dense table every region is one leaf.
 	Scanned int
 	// AccessedSet is how many had the Accessed bit set.
 	AccessedSet int
@@ -82,31 +107,79 @@ type Result struct {
 	CostNs int64
 }
 
-// Scan performs one pass: for every present leaf, record whether Accessed
-// was set, clear it, and flush the page's TLB entry so the next touch
+// scanHit is one region observation from the collect half of a scan pass.
+type scanHit struct {
+	base  addr.Virt
+	pages int
+	prior pagetable.Flags
+	lvl   pagetable.Level
+}
+
+// collect runs the clear-and-record sweep and returns the observations in
+// address order. With sharding enabled the sweep is split into contiguous
+// region-sequence chunks cleared concurrently — distinct shards touch
+// distinct regions — and concatenated in shard-index order, which by the
+// ScanClearRegionsShard contract reproduces the serial sequence exactly.
+func (s *Scanner) collect() []scanHit {
+	if s.shards <= 1 {
+		var hits []scanHit
+		s.pt.ScanClearRegions(s.flag, func(base addr.Virt, pages int, prior pagetable.Flags, lvl pagetable.Level) {
+			hits = append(hits, scanHit{base, pages, prior, lvl})
+		})
+		return hits
+	}
+	tasks := make([]pool.Task[[]scanHit], s.shards)
+	for i := 0; i < s.shards; i++ {
+		shard := i
+		tasks[i] = pool.Task[[]scanHit]{
+			Label: fmt.Sprintf("kstaled-shard/%d", shard),
+			Run: func() ([]scanHit, error) {
+				var hits []scanHit
+				s.pt.ScanClearRegionsShard(shard, s.shards, s.flag, func(base addr.Virt, pages int, prior pagetable.Flags, lvl pagetable.Level) {
+					hits = append(hits, scanHit{base, pages, prior, lvl})
+				})
+				return hits, nil
+			},
+		}
+	}
+	parts, _ := pool.Map(s.workers, tasks) // collect-only tasks cannot fail
+	var hits []scanHit
+	for _, p := range parts {
+		hits = append(hits, p...)
+	}
+	return hits
+}
+
+// Scan performs one pass: for every mapped region, record whether Accessed
+// was set, clear it, and flush the region's TLB entry so the next touch
 // re-sets it. Pages that disappeared since the last pass are forgotten.
+// The pass is collect-then-apply: flag clearing (optionally sharded) only
+// records observations, and all scan-history and TLB side effects are
+// applied serially in address order afterwards.
 func (s *Scanner) Scan() Result {
+	hits := s.collect()
 	var res Result
 	seen := make(map[addr.Virt]struct{}, len(s.state))
-	s.pt.ScanClear(s.flag, func(base addr.Virt, prior pagetable.Flags, lvl pagetable.Level) {
+	for _, h := range hits {
 		res.Scanned++
-		st := s.state[base]
+		st := s.state[h.base]
 		if st == nil {
 			st = &PageState{}
-			s.state[base] = st
+			s.state[h.base] = st
 		}
-		st.Level = lvl
-		seen[base] = struct{}{}
-		if prior.Has(s.flag) {
+		st.Level = h.lvl
+		st.Pages = h.pages
+		seen[h.base] = struct{}{}
+		if h.prior.Has(s.flag) {
 			res.AccessedSet++
 			st.IdleScans = 0
 			st.HotStreak++
-			s.tl.Invalidate(base, s.vpid)
+			s.tl.Invalidate(h.base, s.vpid)
 		} else {
 			st.IdleScans++
 			st.HotStreak = 0
 		}
-	})
+	}
 	// Forget unmapped pages.
 	for base := range s.state {
 		if _, ok := seen[base]; !ok {
@@ -116,6 +189,13 @@ func (s *Scanner) Scan() Result {
 	s.scans.Inc()
 	res.CostNs = int64(res.Scanned) * s.entryCostNs
 	return res
+}
+
+// StateBytes reports the scanner's resident metadata: one history record
+// per tracked region.
+func (s *Scanner) StateBytes() uint64 {
+	// map key + pointer + PageState: ~8 + 8 + 32 bytes per entry.
+	return uint64(len(s.state)) * 48
 }
 
 // Scans returns the number of completed passes.
@@ -141,6 +221,9 @@ func (s *Scanner) IdleFraction(n int) float64 {
 		size := addr.PageSize4K
 		if st.Level == pagetable.Level2M {
 			size = addr.PageSize2M
+		}
+		if st.Pages > 1 {
+			size *= uint64(st.Pages)
 		}
 		total += size
 		if st.IdleScans >= n {

@@ -201,7 +201,15 @@ type Tier struct {
 	id   TierID
 	spec Spec
 
-	free2M []uint64 // free 2MB frame numbers (LIFO)
+	// The 2MB allocator is a lazy bump pointer plus a freed LIFO: next2M is
+	// the lowest never-allocated frame number, end2M one past the tier's
+	// last frame, and freed2M holds returned frames, reused LIFO before the
+	// bump region advances. The allocation sequence is identical to the
+	// eager free-list this replaces (a descending list popped from its
+	// tail), but constructing a tier is O(1) instead of O(frames) — a 1 TB
+	// tier no longer materializes half a million list entries up front.
+	next2M, end2M uint64
+	freed2M       []uint64
 	// broken tracks 2MB frames that have been split for 4KB allocation:
 	// frame number -> bitmap of free 4KB children (1 = free).
 	broken map[uint64]*childMap
@@ -252,11 +260,8 @@ func NewTier(id TierID, spec Spec) *Tier {
 	}
 	t := &Tier{id: id, spec: spec, broken: make(map[uint64]*childMap)}
 	base := uint64(id) << (TierShift - addr.PageShift2M) // in 2MB frame numbers
-	nFrames := spec.Capacity / addr.PageSize2M
-	// Push in reverse so allocation proceeds from the tier base upward.
-	for i := nFrames; i > 0; i-- {
-		t.free2M = append(t.free2M, base+i-1)
-	}
+	t.next2M = base
+	t.end2M = base + spec.Capacity/addr.PageSize2M
 	return t
 }
 
@@ -286,15 +291,39 @@ func (t *Tier) Used() uint64 { return t.used }
 // Free returns the number of unallocated bytes.
 func (t *Tier) Free() uint64 { return t.Capacity() - t.used }
 
-// Alloc2M allocates one 2MB frame.
+// Alloc2M allocates one 2MB frame: the most recently freed frame if any,
+// else the next frame above the bump pointer (tier base upward).
 func (t *Tier) Alloc2M() (addr.Phys, error) {
-	n := len(t.free2M)
-	if n == 0 {
+	var fn uint64
+	if n := len(t.freed2M); n > 0 {
+		fn = t.freed2M[n-1]
+		t.freed2M = t.freed2M[:n-1]
+	} else if t.next2M < t.end2M {
+		fn = t.next2M
+		t.next2M++
+	} else {
 		return 0, fmt.Errorf("%w: %s tier full (%d bytes used)", ErrOutOfMemory, t.id, t.used)
 	}
-	fn := t.free2M[n-1]
-	t.free2M = t.free2M[:n-1]
 	t.used += addr.PageSize2M
+	return addr.Phys2M(fn), nil
+}
+
+// AllocContig2M allocates n physically contiguous 2MB frames and returns the
+// base of the run. It serves only from the never-allocated bump region (the
+// freed LIFO is not defragmented), so it is primarily an initial-population
+// path: before any Free2M it hands out exactly the frames n successive
+// Alloc2M calls would.
+func (t *Tier) AllocContig2M(n int) (addr.Phys, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("mem: AllocContig2M of %d frames", n)
+	}
+	if t.end2M-t.next2M < uint64(n) {
+		return 0, fmt.Errorf("%w: %s tier has %d contiguous frames, need %d",
+			ErrOutOfMemory, t.id, t.end2M-t.next2M, n)
+	}
+	fn := t.next2M
+	t.next2M += uint64(n)
+	t.used += uint64(n) * addr.PageSize2M
 	return addr.Phys2M(fn), nil
 }
 
@@ -307,7 +336,10 @@ func (t *Tier) Free2M(p addr.Phys) {
 	if _, isBroken := t.broken[fn]; isBroken {
 		panic(fmt.Sprintf("mem: Free2M of broken frame %s", p))
 	}
-	t.free2M = append(t.free2M, fn)
+	if fn >= t.next2M {
+		panic(fmt.Sprintf("mem: Free2M of never-allocated frame %s", p))
+	}
+	t.freed2M = append(t.freed2M, fn)
 	t.used -= addr.PageSize2M
 }
 
@@ -350,8 +382,16 @@ func (t *Tier) Free4K(p addr.Phys) {
 	t.used -= addr.PageSize4K
 	if cm.nFree == addr.PagesPerHuge {
 		delete(t.broken, fn)
-		t.free2M = append(t.free2M, fn)
+		t.freed2M = append(t.freed2M, fn)
 	}
+}
+
+// StateBytes returns the tier allocator's resident simulator-state bytes:
+// the freed-frame list and the broken-frame maps. The bump region costs
+// nothing, which is what makes constructing terabyte tiers O(1).
+func (t *Tier) StateBytes() uint64 {
+	const perBroken = 8 /* map key */ + 8 /* ptr */ + 72 /* childMap */
+	return uint64(cap(t.freed2M))*8 + uint64(len(t.broken))*perBroken + 64
 }
 
 // System is the full physical memory: an ordered tier hierarchy with one
@@ -416,6 +456,15 @@ func (s *System) TierOf(p addr.Phys) TierID {
 		panic(fmt.Sprintf("mem: physical address %s maps to tier %d but only %d tiers are configured", p, int(id), len(s.tiers)))
 	}
 	return id
+}
+
+// StateBytes sums the allocator state of every tier.
+func (s *System) StateBytes() uint64 {
+	var b uint64
+	for _, t := range s.tiers {
+		b += t.StateBytes()
+	}
+	return b
 }
 
 // ReadLatency returns the device read latency for the tier owning p.

@@ -235,3 +235,74 @@ func TestMeter(t *testing.T) {
 		t.Fatalf("RateMBps = %v", got)
 	}
 }
+
+// TestAllocContig2M serves contiguous runs from the bump region: before any
+// free it hands out exactly the frames successive Alloc2M calls would.
+func TestAllocContig2M(t *testing.T) {
+	tier := testTier(16 << 20) // eight 2MB frames
+	base, err := tier.AllocContig2M(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tier.Alloc2M()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base + addr.Phys(4*addr.PageSize2M); p != want {
+		t.Fatalf("Alloc2M after AllocContig2M(4) = %s, want %s", p, want)
+	}
+	if tier.Used() != 5*addr.PageSize2M {
+		t.Fatalf("Used = %d, want %d", tier.Used(), 5*addr.PageSize2M)
+	}
+	// Freed frames don't defragment into contiguous runs: three bump frames
+	// remain, and the freed one doesn't extend them.
+	tier.Free2M(base)
+	if _, err := tier.AllocContig2M(4); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("AllocContig2M beyond bump region = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := tier.AllocContig2M(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyAllocOrder pins the allocation sequence the lazy bump allocator
+// must preserve from the eager free list it replaced: frames hand out from
+// the tier base upward, and freed frames are reused LIFO before the bump
+// pointer advances.
+func TestLazyAllocOrder(t *testing.T) {
+	tier := testTier(8 << 20)
+	var got []addr.Phys
+	for i := 0; i < 3; i++ {
+		p, err := tier.Alloc2M()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p)
+	}
+	for i, p := range got {
+		if want := addr.Phys(uint64(i) * addr.PageSize2M); p != want {
+			t.Fatalf("alloc %d = %s, want %s (base upward)", i, p, want)
+		}
+	}
+	tier.Free2M(got[0])
+	tier.Free2M(got[2])
+	if p, _ := tier.Alloc2M(); p != got[2] {
+		t.Fatalf("first realloc = %s, want LIFO %s", p, got[2])
+	}
+	if p, _ := tier.Alloc2M(); p != got[0] {
+		t.Fatalf("second realloc = %s, want LIFO %s", p, got[0])
+	}
+	if p, _ := tier.Alloc2M(); p != addr.Phys(3*addr.PageSize2M) {
+		t.Fatal("bump pointer did not resume after freed list drained")
+	}
+}
+
+// TestTierStateBytesO1: allocator state is independent of capacity until
+// frames are actually freed or broken.
+func TestTierStateBytesO1(t *testing.T) {
+	small := testTier(1 << 30)
+	huge := testTier(1 << 40)
+	if small.StateBytes() != huge.StateBytes() {
+		t.Fatalf("state scales with capacity: %d vs %d bytes", small.StateBytes(), huge.StateBytes())
+	}
+}

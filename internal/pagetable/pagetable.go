@@ -100,10 +100,17 @@ type Table struct {
 	count4K int
 	count2M int
 	leaves  []leafRef
+	// nodes counts allocated radix nodes (root included) for StateBytes.
+	nodes int
+	// Hybrid sparse mode (spans.go): spansOn arms it, spans is the ordered
+	// region-summary list, spanPages counts the 2MB pages those spans hold.
+	spansOn   bool
+	spans     []span
+	spanPages int
 }
 
 // New returns an empty table.
-func New() *Table { return &Table{root: &node{}} }
+func New() *Table { return &Table{root: &node{}, nodes: 1} }
 
 // leafPos returns the index of the first flat-index entry with base >= b.
 func (t *Table) leafPos(b addr.Virt) int {
@@ -153,12 +160,13 @@ func (t *Table) removeLeaf(b addr.Virt) {
 // Count4K returns the number of present 4KB leaf entries.
 func (t *Table) Count4K() int { return t.count4K }
 
-// Count2M returns the number of present 2MB leaf entries.
-func (t *Table) Count2M() int { return t.count2M }
+// Count2M returns the number of present 2MB leaf entries, span-held pages
+// included.
+func (t *Table) Count2M() int { return t.count2M + t.spanPages }
 
 // MappedBytes returns the total bytes mapped.
 func (t *Table) MappedBytes() uint64 {
-	return uint64(t.count4K)*addr.PageSize4K + uint64(t.count2M)*addr.PageSize2M
+	return uint64(t.count4K)*addr.PageSize4K + uint64(t.count2M+t.spanPages)*addr.PageSize2M
 }
 
 // descend returns the node at the given level for v, allocating intermediate
@@ -180,6 +188,7 @@ func (t *Table) descend(v addr.Virt, level int, create bool) *node {
 			child = &node{}
 			n.children[i] = child
 			n.liveChildren++
+			t.nodes++
 		}
 		n = child
 	}
@@ -213,6 +222,9 @@ func (t *Table) Map2M(v addr.Virt, p addr.Phys, flags Flags) error {
 	if p.Base2M() != p {
 		return fmt.Errorf("pagetable: Map2M of unaligned physical %s", p)
 	}
+	if len(t.spans) != 0 && t.spanIdx(v) >= 0 {
+		return fmt.Errorf("pagetable: %s already span-mapped", v)
+	}
 	pd := t.descend(v, 2, true)
 	if pd == nil {
 		return fmt.Errorf("pagetable: %s covered by a huge mapping", v)
@@ -232,8 +244,19 @@ func (t *Table) Map2M(v addr.Virt, p addr.Phys, flags Flags) error {
 }
 
 // Lookup finds the translation for v without side effects (no Accessed
-// update, no poison fault). ok is false if v is unmapped.
+// update, no poison fault). ok is false if v is unmapped. In sparse mode a
+// radix miss falls back to the span list.
 func (t *Table) Lookup(v addr.Virt) (Entry, Level, bool) {
+	if e, lvl, ok := t.lookupRadix(v); ok {
+		return e, lvl, true
+	}
+	if len(t.spans) != 0 {
+		return t.lookupSpan(v)
+	}
+	return Entry{}, 0, false
+}
+
+func (t *Table) lookupRadix(v addr.Virt) (Entry, Level, bool) {
 	n := t.root
 	for l := 4; l >= 1; l-- {
 		i := addr.Index(v, l)
@@ -289,8 +312,20 @@ type WalkResult struct {
 // Walk performs a hardware page walk for v: finds the leaf, sets Accessed
 // (and Dirty for writes) unless the entry is poisoned, and reports the walk
 // depth. A poisoned leaf reports Poisoned=true and leaves flags untouched —
-// the MMU raises the fault before retiring the access.
+// the MMU raises the fault before retiring the access. In sparse mode a
+// radix miss falls back to the span list: a span hit walks at the same depth
+// as a dense 2MB leaf and sets Accessed/Dirty on the span aggregate.
 func (t *Table) Walk(v addr.Virt, write bool) WalkResult {
+	r := t.walkRadix(v, write)
+	if !r.Found && len(t.spans) != 0 {
+		if sr, ok := t.walkSpan(v, write); ok {
+			return sr
+		}
+	}
+	return r
+}
+
+func (t *Table) walkRadix(v addr.Virt, write bool) WalkResult {
 	n := t.root
 	depth := 0
 	for l := 4; l >= 1; l-- {
@@ -324,8 +359,19 @@ func (t *Table) finishWalk(e *Entry, lvl Level, depth int, write bool) WalkResul
 	return WalkResult{Entry: *e, Level: lvl, Found: true, Depth: depth}
 }
 
-// entryRef returns a pointer to the leaf entry mapping v, or nil.
+// entryRef returns a pointer to the leaf entry mapping v, or nil. In sparse
+// mode a span-mapped page is carved into a radix leaf first: every
+// flag-mutating or migrating caller (SetFlags, ClearFlags, Remap, EntryRef —
+// hence poisoning) is a page-grain touch that re-splits its region.
 func (t *Table) entryRef(v addr.Virt) (*Entry, Level) {
+	e, lvl := t.entryRefRadix(v)
+	if e == nil && len(t.spans) != 0 && t.carve(v) {
+		return t.entryRefRadix(v)
+	}
+	return e, lvl
+}
+
+func (t *Table) entryRefRadix(v addr.Virt) (*Entry, Level) {
 	n := t.root
 	for l := 4; l >= 1; l-- {
 		i := addr.Index(v, l)
@@ -387,8 +433,12 @@ func (t *Table) Remap(v addr.Virt, p addr.Phys) (addr.Phys, error) {
 }
 
 // Unmap removes the leaf mapping v at whichever grain it exists. Returns the
-// removed entry and its level.
+// removed entry and its level. A span-mapped page is carved first (page-grain
+// unmap; UnmapSpan is the bulk path).
 func (t *Table) Unmap(v addr.Virt) (Entry, Level, error) {
+	if len(t.spans) != 0 {
+		t.carve(v)
+	}
 	// Walk down remembering the path so empty nodes can be pruned.
 	var path [4]pruneStep
 	n := t.root
@@ -437,6 +487,7 @@ func (t *Table) prune(path []pruneStep) {
 			parent := path[k-1]
 			parent.n.children[parent.i] = nil
 			parent.n.liveChildren--
+			t.nodes--
 		} else {
 			break
 		}
@@ -449,6 +500,9 @@ func (t *Table) prune(path []pruneStep) {
 // post-split scans observe fresh access information.
 func (t *Table) Split(v addr.Virt) error {
 	hv := v.Base2M()
+	if len(t.spans) != 0 {
+		t.carve(hv)
+	}
 	pd := t.descend(hv, 2, false)
 	if pd == nil {
 		return fmt.Errorf("pagetable: Split of unmapped %s", hv)
@@ -471,6 +525,7 @@ func (t *Table) Split(v addr.Virt) error {
 	pd.liveLeaves--
 	pd.children[i] = pt
 	pd.liveChildren++
+	t.nodes++
 	t.count2M--
 	t.count4K += addr.PagesPerHuge
 	// Flat index: the huge leaf's slot becomes 512 contiguous child refs.
@@ -523,6 +578,7 @@ func (t *Table) Collapse(v addr.Virt) error {
 	parentFlags := (pt.entries[0].Flags &^ SplitSampled) | Huge | merged
 	pd.children[i] = nil
 	pd.liveChildren--
+	t.nodes--
 	pd.entries[i] = Entry{Frame: base, Flags: parentFlags}
 	pd.liveLeaves++
 	t.count2M++
@@ -610,9 +666,12 @@ func (t *Table) ScanClear(mask Flags, fn func(base addr.Virt, prior Flags, lvl L
 }
 
 // ClearFlagsRange clears mask from every present leaf whose base falls in r
-// and returns the number of leaves visited. It is the batched form of
+// and returns the number of pages visited. It is the batched form of
 // per-page ClearFlags for the engine's restore pass: one index splice-free
-// sweep instead of one radix descent per page.
+// sweep instead of one radix descent per page. Spans overlapping r have the
+// mask cleared from their whole aggregate (conservative: region-grain flags
+// cannot be cleared for part of a region) and contribute their overlapping
+// page count to the return value.
 func (t *Table) ClearFlagsRange(r addr.Range, mask Flags) int {
 	ls := t.leaves
 	visited := 0
@@ -622,6 +681,24 @@ func (t *Table) ClearFlagsRange(r addr.Range, mask Flags) int {
 			e.Flags &^= mask
 		}
 		visited++
+	}
+	if len(t.spans) != 0 {
+		sp := t.spans
+		j := sort.Search(len(sp), func(k int) bool { return sp[k].end() > r.Start })
+		for ; j < len(sp) && sp[j].vbase < r.End; j++ {
+			s := &sp[j]
+			if s.flags&mask != 0 {
+				s.flags &^= mask
+			}
+			lo, hi := s.vbase, s.end()
+			if lo < r.Start {
+				lo = r.Start
+			}
+			if hi > r.End {
+				hi = r.End
+			}
+			visited += int(uint64(hi-lo) >> addr.PageShift2M)
+		}
 	}
 	return visited
 }

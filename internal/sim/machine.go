@@ -98,6 +98,12 @@ type Config struct {
 	// injector at all, so default machines are bit-identical to pre-chaos
 	// builds.
 	Chaos chaos.Config
+	// Sparse arms the hybrid span-compressed page-table representation:
+	// huge regions allocate as Telescope-style region summaries and carve
+	// to page grain on first page-grain touch (sampling, poisoning,
+	// migration). Off by default — dense machines are byte-identical to
+	// pre-sparse builds; see DESIGN.md "Scaling to terabytes".
+	Sparse bool
 }
 
 // DefaultConfig returns the paper's evaluated machine: KVM guest with huge
@@ -255,10 +261,14 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	pt := pagetable.New()
+	if cfg.Sparse {
+		pt.EnableSpans()
+	}
 	m := &Machine{
 		cfg:          cfg,
 		sys:          sys,
-		pt:           pagetable.New(),
+		pt:           pt,
 		tl:           tlb.New(cfg.TLB),
 		llc:          cache.New(cfg.LLC),
 		wm:           wm,
@@ -390,7 +400,19 @@ func (m *Machine) AllocRegion(size uint64, huge bool) (addr.Range, error) {
 	start := m.next
 	r := addr.NewRange(start, size)
 	fast := m.sys.Tier(mem.Fast)
-	if huge {
+	if huge && m.cfg.Sparse {
+		// Sparse mode: the whole region is one span record over one
+		// physically contiguous run — the same frames the per-page loop
+		// below would hand out from a fresh tier, at O(1) state.
+		pages := int(rounded / addr.PageSize2M)
+		p, err := fast.AllocContig2M(pages)
+		if err != nil {
+			return addr.Range{}, fmt.Errorf("sim: AllocRegion: %w", err)
+		}
+		if err := m.pt.MapSpan(start, p, pages, pagetable.Writable); err != nil {
+			return addr.Range{}, err
+		}
+	} else if huge {
 		for v := start; v < start+addr.Virt(rounded); v += addr.Virt(addr.PageSize2M) {
 			p, err := fast.Alloc2M()
 			if err != nil {
@@ -434,6 +456,16 @@ func (m *Machine) FreeRegion(r addr.Range) ([]uint64, error) {
 		poi  bool
 		spl  bool
 	}
+	// Span-held pages first: whole cold runs return to their tier in bulk,
+	// trimming any span that accretion merged across the range boundary.
+	freed := make([]uint64, m.sys.NumTiers())
+	for _, run := range m.pt.UnmapSpansRange(r) {
+		tier := m.sys.TierOf(run.Pbase)
+		for i := 0; i < run.Pages; i++ {
+			m.sys.Tier(tier).Free2M(run.Pbase + addr.Phys(uint64(i)*addr.PageSize2M))
+		}
+		freed[tier] += uint64(run.Pages) * addr.PageSize2M
+	}
 	var leaves []leafInfo
 	m.pt.ScanRange(r, func(base addr.Virt, e *pagetable.Entry, lvl pagetable.Level) {
 		leaves = append(leaves, leafInfo{
@@ -466,7 +498,6 @@ func (m *Machine) FreeRegion(r addr.Range) ([]uint64, error) {
 	m.pt.ScanRange(r, func(base addr.Virt, e *pagetable.Entry, lvl pagetable.Level) {
 		final = append(final, leafInfo{base: base, lvl: lvl})
 	})
-	freed := make([]uint64, m.sys.NumTiers())
 	for _, l := range final {
 		e, lvl, err := m.pt.Unmap(l.base)
 		if err != nil {
@@ -881,6 +912,20 @@ func (m *Machine) ResetPageCounts() {
 		m.pcCounts[i] = 0
 	}
 	m.pcLow = nil
+}
+
+// Sparse reports whether the machine runs the hybrid span-compressed page
+// table.
+func (m *Machine) Sparse() bool { return m.cfg.Sparse }
+
+// StateBytes estimates the machine's footprint-dependent simulator state:
+// page table (radix nodes, leaf index, spans), tier allocators, BadgerTrap
+// fault counts, and the ground-truth page counters. Fixed-size components
+// (TLB, LLC, walk model) are excluded — the scaling gate tracks how state
+// grows with simulated footprint, and they don't.
+func (m *Machine) StateBytes() uint64 {
+	return m.pt.StateBytes() + m.sys.StateBytes() + m.trap.StateBytes() +
+		uint64(cap(m.pcCounts))*8 + uint64(len(m.pcLow))*24
 }
 
 // Metrics returns a snapshot of the machine counters. The histogram is the

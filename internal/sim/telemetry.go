@@ -145,34 +145,49 @@ func (t *epochTracker) end(nowNs int64) {
 		snap.TierOccupancy[i] = tier.Used()
 	}
 
-	// One page-table walk gathers the poisoned-leaf count and the mapped
-	// 2MB regions with their backing tiers (placement-based hot/cold).
-	type pageInfo struct {
-		cold bool
+	// One sweep of the hybrid region view gathers the poisoned-leaf count
+	// and the placement-based hot/cold byte split. On a dense table this
+	// visits exactly the leaves the old per-leaf Scan did; in sparse mode a
+	// cold terabyte is a handful of span summaries, not half a million
+	// visits. The per-2MB-page map is only materialized when the confusion
+	// matrix actually consumes it (page counts enabled + policy exposes a
+	// cold set) — for every other run the epoch boundary does no O(pages)
+	// work at all.
+	var counts map[addr.Virt]uint64
+	if t.cc != nil && t.prevCounts != nil {
+		counts = t.m.PageCounts()
 	}
-	pages := make(map[addr.Virt]pageInfo)
+	confusion := counts != nil
+	var pages map[addr.Virt]bool // 2MB base -> seen (confusion only)
+	if confusion {
+		pages = make(map[addr.Virt]bool)
+	}
 	sys := t.m.Memory()
-	t.m.PageTable().Scan(func(base addr.Virt, e *pagetable.Entry, lvl pagetable.Level) {
+	t.m.PageTable().ScanRegions(func(base addr.Virt, n int, e *pagetable.Entry, lvl pagetable.Level) {
 		if e.Flags.Has(pagetable.Poisoned) {
 			snap.PoisonedPages++
 		}
 		cold := sys.TierOf(e.Frame) != mem.Fast
+		grain := addr.PageSize4K
 		if lvl == pagetable.Level2M {
-			snap.ColdBytes += boolBytes(cold, addr.PageSize2M)
-			snap.HotBytes += boolBytes(!cold, addr.PageSize2M)
-		} else {
-			snap.ColdBytes += boolBytes(cold, addr.PageSize4K)
-			snap.HotBytes += boolBytes(!cold, addr.PageSize4K)
+			grain = addr.PageSize2M
 		}
-		hb := base.Base2M()
-		if _, ok := pages[hb]; !ok {
-			pages[hb] = pageInfo{cold: cold}
+		snap.ColdBytes += boolBytes(cold, uint64(n)*grain)
+		snap.HotBytes += boolBytes(!cold, uint64(n)*grain)
+		if pages != nil {
+			if n == 1 {
+				pages[base.Base2M()] = true
+			} else {
+				for i := 0; i < n; i++ {
+					pages[base+addr.Virt(uint64(i)*addr.PageSize2M)] = true
+				}
+			}
 		}
 	})
 
 	// Confusion vs. LLC ground truth: a 2MB page is "truly accessed" if it
 	// took at least one LLC miss this epoch.
-	if counts := t.m.PageCounts(); counts != nil && t.cc != nil && t.prevCounts != nil {
+	if confusion {
 		snap.ConfusionValid = true
 		for hb := range pages {
 			accessed := counts[hb] > t.prevCounts[hb]

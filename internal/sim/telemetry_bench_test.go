@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"thermostat/internal/addr"
+	"thermostat/internal/telemetry"
+)
+
+// benchEpochMachine builds a machine with footprint bytes mapped as one
+// contiguous huge-page region — the shape the epoch snapshot sweeps.
+func benchEpochMachine(b *testing.B, footprint uint64, sparse bool) *Machine {
+	b.Helper()
+	cfg := DefaultConfig(footprint+64<<20, footprint+64<<20)
+	cfg.Sparse = sparse
+	cfg.Recorder = telemetry.Nop{}
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.AllocRegion(footprint, true); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// benchColdPolicy gives the tracker a cold set, turning the confusion
+// matrix on — the epoch boundary's most expensive optional feature.
+type benchColdPolicy struct{ NullPolicy }
+
+func (benchColdPolicy) IsCold(addr.Virt) bool { return false }
+
+// BenchmarkEpochSnapshot measures one epoch-boundary close (the snapshot
+// sweep in epochTracker.end) over a 64 GB mapped footprint:
+//
+//   - dense: one visit per mapped 2MB leaf — the pre-rewrite cost shape,
+//     which every telemetry-enabled run used to pay at every boundary;
+//   - sparse: the idle footprint is span summaries, so the sweep is
+//     O(touched regions + spans);
+//   - dense-confusion: page counts enabled and a policy exposing a cold
+//     set, so the per-2MB-page map is materialized — the O(pages) path,
+//     now only taken when the confusion matrix actually consumes it.
+//
+// Measured numbers are pinned in results/bench-telemetry-epoch.txt.
+func BenchmarkEpochSnapshot(b *testing.B) {
+	const footprint = 64 << 30
+	cases := []struct {
+		name      string
+		sparse    bool
+		confusion bool
+	}{
+		{"dense-64G", false, false},
+		{"sparse-64G", true, false},
+		{"dense-64G-confusion", false, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			m := benchEpochMachine(b, footprint, c.sparse)
+			var pol Policy
+			if c.confusion {
+				m.EnablePageCounts()
+				pol = benchColdPolicy{}
+			}
+			tr := newEpochTracker(m, pol)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.end(int64(i + 1))
+			}
+		})
+	}
+}

@@ -433,6 +433,44 @@ func (s Spec) WithDwell(d int) Spec {
 	return s
 }
 
+// WithFootprint rescales every segment (and growth chunk) so the spec's
+// total unscaled footprint becomes target bytes, preserving each segment's
+// relative share. Sizes round up to whole huge pages and never drop below
+// one, so a small target skews slightly large rather than producing empty
+// segments (Validate would reject those). target == 0 returns the spec
+// unchanged — the "no override" CLI default. The receiver's pickers are
+// cloned, never mutated. Returns the transformed copy.
+func (s Spec) WithFootprint(target uint64) Spec {
+	if target == 0 {
+		return s
+	}
+	s = s.ClonePickers()
+	var total uint64
+	for _, seg := range s.Segments {
+		total += seg.Bytes
+	}
+	if total == 0 {
+		return s
+	}
+	rescale := func(b uint64) uint64 {
+		nb := uint64(float64(b) * (float64(target) / float64(total)))
+		nb = (nb + addr.PageSize2M - 1) / addr.PageSize2M * addr.PageSize2M
+		if nb < addr.PageSize2M {
+			nb = addr.PageSize2M
+		}
+		return nb
+	}
+	for i := range s.Segments {
+		s.Segments[i].Bytes = rescale(s.Segments[i].Bytes)
+	}
+	if s.Growth != nil {
+		g := *s.Growth
+		g.ChunkBytes = rescale(g.ChunkBytes)
+		s.Growth = &g
+	}
+	return s
+}
+
 // WithTimeDilation multiplies picker rotation periods by f, matching the
 // harness's rate dilation: hot-set drift keeps the same ratio to the
 // workload's access rates (and to idle windows, which also dilate by f).

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSize parses a human-readable byte size: a plain integer is bytes, and
+// a K/M/G/T suffix (optionally followed by "b"/"iB", case-insensitive)
+// selects the binary multiplier — "512m", "1G", "16GiB", "1t". Sizes feed
+// footprint overrides, so zero and negative values are rejected.
+func ParseSize(s string) (uint64, error) {
+	in := strings.TrimSpace(strings.ToLower(s))
+	if in == "" {
+		return 0, fmt.Errorf("workload: empty size")
+	}
+	mult := uint64(1)
+	for _, suf := range []struct {
+		tail string
+		mult uint64
+	}{
+		{"kib", kib}, {"kb", kib}, {"k", kib},
+		{"mib", mib}, {"mb", mib}, {"m", mib},
+		{"gib", gib}, {"gb", gib}, {"g", gib},
+		{"tib", 1 << 40}, {"tb", 1 << 40}, {"t", 1 << 40},
+	} {
+		if strings.HasSuffix(in, suf.tail) {
+			in = strings.TrimSuffix(in, suf.tail)
+			mult = suf.mult
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(in, 64)
+	if err != nil {
+		return 0, fmt.Errorf("workload: size %q: %v", s, err)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("workload: size %q must be positive", s)
+	}
+	return uint64(n * float64(mult)), nil
+}
+
+// FormatSize renders bytes with the largest whole binary unit — the inverse
+// of ParseSize for round sizes ("1.5G" otherwise).
+func FormatSize(b uint64) string {
+	switch {
+	case b >= 1<<40 && b%(1<<40) == 0:
+		return fmt.Sprintf("%dT", b>>40)
+	case b >= gib && b%gib == 0:
+		return fmt.Sprintf("%dG", b>>30)
+	case b >= mib && b%mib == 0:
+		return fmt.Sprintf("%dM", b>>20)
+	case b >= kib && b%kib == 0:
+		return fmt.Sprintf("%dK", b>>10)
+	}
+	if b >= gib {
+		return fmt.Sprintf("%.1fG", float64(b)/float64(gib))
+	}
+	return fmt.Sprintf("%d", b)
+}

@@ -196,6 +196,26 @@ func WebSearch() Spec {
 	}
 }
 
+// ScaleSynthetic models the scaling benchmark's workload: a small Zipfian
+// hot set and a warm band in front of a vast, almost-never-touched cold
+// reserve — the footprint shape (a few percent hot, the rest idle) where
+// region-grain state pays off. The spec totals 1 GiB unscaled; the scaling
+// sweep stretches it with WithFootprint, which preserves these shares, so
+// the hot set grows with the footprint while the cold reserve stays ~95%.
+// It is deliberately not part of All: the paper experiments iterate the six
+// evaluated applications only.
+func ScaleSynthetic() Spec {
+	return Spec{
+		Name:      "scale-synth",
+		ComputeNs: 2000,
+		Segments: []SegmentSpec{
+			{Name: "hot", Bytes: 2 * gib / 100, Weight: 0.90, Picker: &Zipf{}, WriteFrac: 0.2},
+			{Name: "warm", Bytes: 3 * gib / 100, Weight: 0.098, Picker: Uniform{}, WriteFrac: 0.1},
+			{Name: "cold", Bytes: 95 * gib / 100, Weight: 0.002, Picker: &Sweep{Dwell: DefaultScale}},
+		},
+	}
+}
+
 // All returns the six evaluated applications with the mixes the paper's
 // footprint figures use (Aerospike read-heavy, Cassandra write-heavy).
 func All() []Spec {
@@ -222,6 +242,8 @@ func ByName(name string) (Spec, bool) {
 		return Cassandra(ReadHeavy), true
 	case "cassandra-write-heavy":
 		return Cassandra(WriteHeavy), true
+	case "scale-synth":
+		return ScaleSynthetic(), true
 	}
 	for _, s := range All() {
 		if s.Name == name {

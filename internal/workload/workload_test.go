@@ -535,3 +535,148 @@ func TestAppRegions(t *testing.T) {
 		t.Fatalf("regions total %d != footprint %d", total, rss+file)
 	}
 }
+
+func TestWithFootprint(t *testing.T) {
+	spec := ScaleSynthetic()
+	var orig uint64
+	for _, seg := range spec.Segments {
+		orig += seg.Bytes
+	}
+	target := uint64(16) << 30
+	scaled := spec.WithFootprint(target)
+	if err := scaled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for i, seg := range scaled.Segments {
+		if seg.Bytes%addr.PageSize2M != 0 {
+			t.Fatalf("segment %q not huge-page aligned: %d", seg.Name, seg.Bytes)
+		}
+		if seg.Bytes < addr.PageSize2M {
+			t.Fatalf("segment %q below one huge page", seg.Name)
+		}
+		// Shares are preserved within rounding: each segment lands within
+		// one huge page of its proportional size.
+		want := uint64(float64(spec.Segments[i].Bytes) * float64(target) / float64(orig))
+		if diff := int64(seg.Bytes) - int64(want); diff < 0 || diff > int64(addr.PageSize2M) {
+			t.Fatalf("segment %q = %d, want ~%d", seg.Name, seg.Bytes, want)
+		}
+		total += seg.Bytes
+	}
+	// Total within one huge page per segment of the target.
+	slack := uint64(len(scaled.Segments)) * addr.PageSize2M
+	if total < target || total > target+slack {
+		t.Fatalf("total = %d, want within [%d, %d]", total, target, target+slack)
+	}
+	// The receiver is untouched.
+	if spec.Segments[0].Bytes != ScaleSynthetic().Segments[0].Bytes {
+		t.Fatal("WithFootprint mutated the receiver")
+	}
+	// target 0 is a no-op.
+	same := spec.WithFootprint(0)
+	if same.Segments[0].Bytes != spec.Segments[0].Bytes {
+		t.Fatal("WithFootprint(0) changed sizes")
+	}
+}
+
+func TestWithFootprintGrowth(t *testing.T) {
+	spec := Cassandra(WriteHeavy)
+	scaled := spec.WithFootprint(32 << 30)
+	if scaled.Growth == nil {
+		t.Fatal("growth spec dropped")
+	}
+	if scaled.Growth.ChunkBytes <= spec.Growth.ChunkBytes {
+		t.Fatalf("growth chunk not scaled up: %d <= %d",
+			scaled.Growth.ChunkBytes, spec.Growth.ChunkBytes)
+	}
+	if scaled.Growth == spec.Growth {
+		t.Fatal("growth spec aliased, receiver mutated")
+	}
+	if scaled.Growth.ChunkBytes%addr.PageSize2M != 0 {
+		t.Fatalf("growth chunk unaligned: %d", scaled.Growth.ChunkBytes)
+	}
+}
+
+func TestWithFootprintTiny(t *testing.T) {
+	// A target smaller than one huge page per segment clamps every segment
+	// to one huge page instead of producing empty segments.
+	scaled := ScaleSynthetic().WithFootprint(1 << 20)
+	if err := scaled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range scaled.Segments {
+		if seg.Bytes != addr.PageSize2M {
+			t.Fatalf("segment %q = %d, want one huge page", seg.Name, seg.Bytes)
+		}
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"4096", 4096},
+		{"512k", 512 << 10},
+		{"512KB", 512 << 10},
+		{"1m", 1 << 20},
+		{"16MiB", 16 << 20},
+		{"1g", 1 << 30},
+		{"64GB", 64 << 30},
+		{"1t", 1 << 40},
+		{"1TiB", 1 << 40},
+		{"1.5g", 3 << 29},
+		{" 2G ", 2 << 30},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if err != nil {
+			t.Fatalf("ParseSize(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "g", "-1g", "0", "1q", "abc"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Fatalf("ParseSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{1 << 40, "1T"},
+		{64 << 30, "64G"},
+		{16 << 20, "16M"},
+		{512 << 10, "512K"},
+		{3 << 29, "1536M"},
+		{3<<29 + 1, "1.5G"},
+		{4096, "4K"},
+		{123, "123"},
+	}
+	for _, c := range cases {
+		if got := FormatSize(c.in); got != c.want {
+			t.Fatalf("FormatSize(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestScaleSynthetic(t *testing.T) {
+	spec := ScaleSynthetic()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ByName("scale-synth"); !ok {
+		t.Fatal("scale-synth not registered")
+	}
+	// Not part of the paper's application set.
+	for _, s := range All() {
+		if s.Name == spec.Name {
+			t.Fatal("scale-synth leaked into All()")
+		}
+	}
+}

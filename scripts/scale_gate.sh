@@ -1,0 +1,41 @@
+#!/bin/sh
+# Scaling gate (called by scripts/check.sh and CI): the sparse region-grain
+# page table and sharded tracker scans must stay honest without running the
+# full 1 GB -> 1 TB sweep (that lives in `repro -exp scale`, pinned under
+# results/BENCH_scale.json). The short-mode smoke asserts:
+#  1. sublinearity: growing the footprint 1 GB -> 16 GB shrinks sparse
+#     state bytes per simulated GB, and sparse state undercuts dense
+#     (TestScaleStateShrinks);
+#  2. determinism: the same seeded run is reflect.DeepEqual and
+#     byte-identical in its JSON export at -shard-workers 0, 1, and 8, on
+#     sparse and dense tables (TestShardWorkersIdentical*);
+#  3. the CLI path end to end: thermostat-sim -sparse -shard-workers 1 vs 8
+#     on a 16 GB footprint exports byte-identical trace/metrics files;
+#  4. the sweep cell still benchmarks (one BenchmarkScalePoint iteration).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+echo "== scale: sublinearity + shard determinism tests"
+go test -count=1 -run 'TestShardWorkersIdentical|TestScaleStateShrinks' -short \
+	./internal/harness
+
+echo "== scale: CLI shard invariance at 16G"
+go build -o "$dir/thermostat-sim" ./cmd/thermostat-sim
+"$dir/thermostat-sim" -app scale-synth -footprint 16G -sparse -shard-workers 1 \
+	-scale tiny -duration 4 -workers 1 \
+	-trace "$dir/s1.trace.json" -metrics "$dir/s1.metrics.jsonl" >"$dir/s1.out"
+"$dir/thermostat-sim" -app scale-synth -footprint 16G -sparse -shard-workers 8 \
+	-scale tiny -duration 4 -workers 1 \
+	-trace "$dir/s8.trace.json" -metrics "$dir/s8.metrics.jsonl" >"$dir/s8.out"
+cmp "$dir/s1.trace.json" "$dir/s8.trace.json"
+cmp "$dir/s1.metrics.jsonl" "$dir/s8.metrics.jsonl"
+cmp "$dir/s1.out" "$dir/s8.out"
+
+echo "== scale: bench compile smoke"
+go test -run=NONE -bench 'BenchmarkScalePoint' -benchtime=1x ./internal/harness
+
+echo "scale: state sublinear; runs byte-identical at any -shard-workers"
