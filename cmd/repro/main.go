@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"thermostat/internal/harness"
 	"thermostat/internal/obsv"
@@ -87,14 +88,20 @@ func main() {
 			Binary: "repro", App: *appsFlag, Policy: "thermostat",
 			Scale: *scaleFlag, Seed: *seed, Workers: *workers,
 		})
+		var servers []*obsv.Server
 		for _, addr := range serveAddrs(*serveAddr, *pprofAddr) {
-			_, bound, err := obsv.Serve(addr, pub)
+			srv, bound, err := obsv.Serve(addr, pub)
 			if err != nil {
 				fatal(err)
 			}
+			servers = append(servers, srv)
 			logger.Info("observability server listening",
 				"addr", "http://"+bound, "endpoints", "/metrics /healthz /status /tenants /dump /debug/pprof")
 		}
+		// ^C or SIGTERM drains in-flight scrapes before exiting instead of
+		// cutting connections mid-response.
+		stop := obsv.ShutdownOnSignal(5*time.Second, logger, servers...)
+		defer stop()
 		pub.SetPhase(obsv.PhaseRunning)
 		defer pub.SetPhase(obsv.PhaseDone)
 		opt.Publisher = pub

@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"thermostat/internal/obsv"
-	"thermostat/internal/workload"
+	"thermostat/internal/daemon"
 )
 
 // options captures every flag value that validation inspects, so the
@@ -40,7 +39,11 @@ func knownExperiment(name string) bool {
 }
 
 // validate rejects inconsistent flag combinations before any simulation
-// state is built, with a one-line usage error per defect.
+// state is built, with a one-line usage error per defect. The experiment
+// list is repro's own; everything else defers to daemon.Config.Validate,
+// the one copy of the rules shared with cmd/thermostat-sim and thermostatd.
+// Every repro run drives the paper's thermostat arm, so the config maps
+// with that policy fixed.
 func validate(o options) error {
 	for _, e := range strings.Split(o.Exps, ",") {
 		e = strings.TrimSpace(e)
@@ -49,30 +52,19 @@ func validate(o options) error {
 				e, strings.Join(experiments, ", "))
 		}
 	}
-	switch o.Scale {
-	case "tiny", "bench", "repro":
-	default:
-		return fmt.Errorf("unknown scale %q (tiny, bench, or repro)", o.Scale)
-	}
+	var apps []string
 	if o.Apps != "" {
-		for _, name := range strings.Split(o.Apps, ",") {
-			name = strings.TrimSpace(name)
-			if _, ok := workload.ByName(name); !ok {
-				return fmt.Errorf("unknown application %q", name)
-			}
-		}
+		apps = strings.Split(o.Apps, ",")
 	}
-	if o.Slowdown <= 0 {
-		return fmt.Errorf("-slowdown %g must be positive", o.Slowdown)
+	cfg := daemon.Config{
+		Apps:        apps,
+		Policy:      "thermostat",
+		Scale:       o.Scale,
+		SlowdownPct: o.Slowdown,
+		DurationS:   o.Duration,
+		Serve:       o.Serve,
+		Pprof:       o.Pprof,
+		LogFormat:   o.LogFormat,
 	}
-	if o.Duration < 0 {
-		return fmt.Errorf("-duration %g is negative", o.Duration)
-	}
-	if !obsv.ValidLogFormat(o.LogFormat) {
-		return fmt.Errorf("unknown -log-format %q (text or json)", o.LogFormat)
-	}
-	if o.Serve != "" && o.Serve == o.Pprof {
-		return fmt.Errorf("-serve and -pprof are both %q; one listener per address", o.Serve)
-	}
-	return nil
+	return cfg.Validate()
 }

@@ -42,6 +42,7 @@ import (
 	"log/slog"
 	"os"
 	"strings"
+	"time"
 
 	"thermostat/internal/cgroup"
 	"thermostat/internal/chaos"
@@ -147,14 +148,20 @@ func main() {
 			Binary: "thermostat-sim", App: *appFlag, Tracker: tracker,
 			Policy: *polFlag, Scale: *scaleName, Seed: *seed, Workers: *workers,
 		})
+		var servers []*obsv.Server
 		for _, addr := range serveAddrs(*serveAddr, *pprofAddr) {
-			_, bound, err := obsv.Serve(addr, pub)
+			srv, bound, err := obsv.Serve(addr, pub)
 			if err != nil {
 				fatal(err)
 			}
+			servers = append(servers, srv)
 			logger.Info("observability server listening",
 				"addr", "http://"+bound, "endpoints", "/metrics /healthz /status /tenants /dump /debug/pprof")
 		}
+		// ^C or SIGTERM drains in-flight scrapes before exiting instead of
+		// cutting connections mid-response.
+		stop := obsv.ShutdownOnSignal(5*time.Second, logger, servers...)
+		defer stop()
 		pub.SetPhase(obsv.PhaseRunning)
 		defer pub.SetPhase(obsv.PhaseDone)
 	}

@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"thermostat/internal/core"
-	"thermostat/internal/mem"
-	"thermostat/internal/obsv"
+	"thermostat/internal/daemon"
 	"thermostat/internal/workload"
 )
 
@@ -31,131 +29,45 @@ type options struct {
 	ShardWorkers int
 }
 
-// isCompositionPolicy reports whether name is a placement policy from the
-// core registry (a tracker × policy composition) rather than one of the
-// fixed legacy arms.
-func isCompositionPolicy(name string) bool {
-	for _, p := range core.PolicyNames() {
-		if p == name {
-			return true
-		}
+// splitList turns a comma-separated flag value into the config-layer list
+// form ("" means none; entries keep their padding for the validator's
+// TrimSpace handling).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
 	}
-	return false
+	return strings.Split(s, ",")
 }
 
-// migratesPages reports whether the policy arm moves pages between tiers
-// (every arm except the all-DRAM baseline does).
-func migratesPages(policy string) bool { return policy != "all-dram" }
-
 // validate rejects inconsistent flag combinations before any simulation
-// state is built, with a one-line usage error per defect — conditions that
-// previously surfaced as mid-run fatals (unknown presets, -tiers under the
-// wrong policy) fail here instead.
+// state is built, with a one-line usage error per defect. The rules live in
+// daemon.Config.Validate — one copy shared with cmd/repro and thermostatd —
+// and this adapter only maps the flag set onto the config struct. The CLI
+// additionally requires an app (the config layer leaves it optional for
+// repro's multi-app runs).
 func validate(o options) error {
 	if _, ok := workload.ByName(o.App); !ok {
 		return fmt.Errorf("unknown application %q (try -list)", o.App)
 	}
-	switch {
-	case o.Policy == "thermostat" || o.Policy == "idle-demote" || o.Policy == "all-dram":
-	case isCompositionPolicy(o.Policy):
-	default:
-		return fmt.Errorf("unknown policy %q (thermostat, idle-demote, all-dram, or a composition policy: %s)",
-			o.Policy, strings.Join(core.PolicyNames(), ", "))
+	if o.Policy == "" {
+		return fmt.Errorf("unknown policy %q (thermostat, idle-demote, all-dram, or a composition policy)", o.Policy)
 	}
-	if o.Tracker != "" {
-		known := false
-		for _, t := range core.TrackerNames() {
-			if t == o.Tracker {
-				known = true
-				break
-			}
-		}
-		if !known {
-			return fmt.Errorf("unknown tracker %q (trackers: %s)",
-				o.Tracker, strings.Join(core.TrackerNames(), ", "))
-		}
-		if !isCompositionPolicy(o.Policy) {
-			return fmt.Errorf("-tracker %s needs a composition policy (-policy %s); -policy %s is a fixed arm",
-				o.Tracker, strings.Join(core.PolicyNames(), " or "), o.Policy)
-		}
+	cfg := daemon.Config{
+		App:          o.App,
+		Policy:       o.Policy,
+		Tracker:      o.Tracker,
+		Scale:        o.Scale,
+		SlowdownPct:  o.Slowdown,
+		IdleWindowS:  o.IdleSecs,
+		DurationS:    o.Duration,
+		Footprint:    o.Footprint,
+		ShardWorkers: o.ShardWorkers,
+		Tiers:        splitList(o.Tiers),
+		Tenants:      splitList(o.Tenants),
+		Chaos:        daemon.ChaosConfig{Rate: o.ChaosRate, PermanentFraction: o.ChaosPerm},
+		Serve:        o.Serve,
+		Pprof:        o.Pprof,
+		LogFormat:    o.LogFormat,
 	}
-	switch o.Scale {
-	case "tiny", "bench", "repro":
-	default:
-		return fmt.Errorf("unknown scale %q (tiny, bench, or repro)", o.Scale)
-	}
-	if o.Duration < 0 {
-		return fmt.Errorf("-duration %g is negative", o.Duration)
-	}
-	if o.Footprint != "" {
-		if _, err := workload.ParseSize(o.Footprint); err != nil {
-			return fmt.Errorf("-footprint: %v", err)
-		}
-		if o.Tenants != "" {
-			return fmt.Errorf("-footprint is ambiguous with -tenants; size each tenant's model instead")
-		}
-	}
-	if o.ShardWorkers < 0 {
-		return fmt.Errorf("-shard-workers %d is negative (0 = serial)", o.ShardWorkers)
-	}
-	if (o.Policy == "thermostat" || isCompositionPolicy(o.Policy)) && o.Slowdown <= 0 {
-		return fmt.Errorf("-slowdown %g must be positive for -policy %s", o.Slowdown, o.Policy)
-	}
-	if o.Policy == "idle-demote" && o.IdleSecs <= 0 {
-		return fmt.Errorf("-idle-window %g must be positive for -policy idle-demote", o.IdleSecs)
-	}
-	if o.ChaosRate < 0 || o.ChaosRate > 1 {
-		return fmt.Errorf("-chaos-rate %g outside [0, 1]", o.ChaosRate)
-	}
-	if o.ChaosPerm < 0 || o.ChaosPerm > 1 {
-		return fmt.Errorf("-chaos-permanent %g outside [0, 1]", o.ChaosPerm)
-	}
-	if o.ChaosRate > 0 && !migratesPages(o.Policy) {
-		return fmt.Errorf("-chaos-rate needs a migrating policy; all-dram never migrates")
-	}
-	if !obsv.ValidLogFormat(o.LogFormat) {
-		return fmt.Errorf("unknown -log-format %q (text or json)", o.LogFormat)
-	}
-	if o.Serve != "" && o.Serve == o.Pprof {
-		return fmt.Errorf("-serve and -pprof are both %q; one listener per address", o.Serve)
-	}
-	if o.Tenants != "" {
-		// The fleet path builds one two-tier machine per run and gives every
-		// tenant the same engine composition, so it composes with chaos (the
-		// injector is machine-wide) but not with -tiers or the fixed
-		// non-migrating arms.
-		if o.Tiers != "" {
-			return fmt.Errorf("-tenants is not supported with -tiers (the fleet pool is the two-tier DRAM budget)")
-		}
-		if o.Policy != "thermostat" && !isCompositionPolicy(o.Policy) {
-			return fmt.Errorf("-tenants needs a migrating per-tenant engine (-policy thermostat, %s)",
-				strings.Join(core.PolicyNames(), ", or "))
-		}
-		for _, name := range strings.Split(o.Tenants, ",") {
-			name = strings.TrimSpace(name)
-			if _, ok := workload.ByName(name); !ok {
-				return fmt.Errorf("unknown tenant application %q (try -list)", name)
-			}
-		}
-	}
-	if o.Tiers != "" {
-		// A deep hierarchy only makes sense under an engine that migrates
-		// between its tiers: the paper's arm or any tracker × policy
-		// composition.
-		if o.Policy != "thermostat" && !isCompositionPolicy(o.Policy) {
-			return fmt.Errorf("-tiers needs a migrating engine (-policy thermostat, %s)",
-				strings.Join(core.PolicyNames(), ", or "))
-		}
-		if o.ChaosRate > 0 {
-			return fmt.Errorf("-chaos-rate is not supported with -tiers")
-		}
-		for _, name := range strings.Split(o.Tiers, ",") {
-			name = strings.TrimSpace(name)
-			if _, ok := mem.Preset(name, 0); !ok {
-				return fmt.Errorf("unknown device preset %q (presets: %s)",
-					name, strings.Join(mem.PresetNames(), ", "))
-			}
-		}
-	}
-	return nil
+	return cfg.Validate()
 }

@@ -224,6 +224,34 @@ func (in *Injector) Inject(site Site, now int64) *Fault {
 	return f
 }
 
+// SetRates retunes the uniform per-site fault probability and the permanent
+// fraction on a live injector — the daemon's hot-reload path for the chaos
+// knobs. The rng stream is untouched, so a retune is deterministic given
+// its virtual-time position; rates outside [0, 1] are clamped. Must be
+// called from the simulation goroutine (tick hooks qualify). A nil
+// injector ignores the call: chaos cannot be switched on after the fact,
+// because a disabled config installs no injector at all.
+func (in *Injector) SetRates(rate, permanentFraction float64) {
+	if in == nil {
+		return
+	}
+	rate = clamp01(rate)
+	for s := Site(0); s < NumSites; s++ {
+		in.rates[s] = rate
+	}
+	in.perm = clamp01(permanentFraction)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
 // AbortIndex picks the child index at which a mid-copy abort strikes, for a
 // region of n children. Deterministic given the injector's stream position.
 // A nil injector returns 0.

@@ -57,6 +57,13 @@ type Engine struct {
 	name     string
 	lastTick int64
 
+	// frozen, when set, puts the engine in quarantine-only mode: ticks
+	// keep tracking (estimate + arm) but run no placements and no
+	// corrections, so no new migrations start. The daemon's degradation
+	// ladder flips it, always from the simulation goroutine at an epoch
+	// boundary.
+	frozen bool
+
 	lastEstimates []Estimate
 
 	periods stats.Counter
@@ -172,6 +179,16 @@ func (e *Engine) SetScope(provider func() []addr.Range) {
 	e.pol.SetScope(provider)
 }
 
+// SetFrozen switches quarantine-only mode on or off: a frozen engine still
+// samples, estimates and expires quarantine sentences every tick, but skips
+// the Correct and Place phases entirely, so no migration — demotion,
+// promotion, sink or correction — can start. Must be called from the
+// simulation goroutine (tick hooks qualify).
+func (e *Engine) SetFrozen(on bool) { e.frozen = on }
+
+// Frozen reports whether the engine is in quarantine-only mode.
+func (e *Engine) Frozen() bool { return e.frozen }
+
 // Name implements sim.Policy.
 func (e *Engine) Name() string { return e.name }
 
@@ -223,6 +240,18 @@ func (e *Engine) FaultReport() chaos.Report {
 func (e *Engine) QuarantinedPages() int {
 	if q, ok := e.pol.(interface{ QuarantinedPages() int }); ok {
 		return q.QuarantinedPages()
+	}
+	return 0
+}
+
+// ActiveQuarantinedPages returns the pages whose quarantine sentence is
+// still running — lazily-unexpired entries excluded. While the engine is
+// frozen nothing queries (and thus expires) the bench, so this is the
+// signal for "quarantine pressure persists" as distinct from "stale
+// bookkeeping remains".
+func (e *Engine) ActiveQuarantinedPages() int {
+	if q, ok := e.pol.(interface{ ActiveQuarantinedPages() int }); ok {
+		return q.ActiveQuarantinedPages()
 	}
 	return 0
 }
@@ -338,17 +367,23 @@ func (e *Engine) Tick(m *sim.Machine, now int64) error {
 
 	// Correct first so mis-classified pages come back before new demotions
 	// compete for slow-tier capacity; then consume this interval's
-	// estimates, place, and arm tracking for the next interval.
-	if err := e.pol.Correct(interval); err != nil {
-		return err
+	// estimates, place, and arm tracking for the next interval. In
+	// quarantine-only mode both migration phases are skipped: tracking
+	// stays warm so recovery has fresh estimates, but no page moves.
+	if !e.frozen {
+		if err := e.pol.Correct(interval); err != nil {
+			return err
+		}
 	}
 	ests, err := e.tr.Estimates(interval)
 	if err != nil {
 		return err
 	}
 	e.lastEstimates = ests
-	if err := e.pol.Place(ests); err != nil {
-		return err
+	if !e.frozen {
+		if err := e.pol.Place(ests); err != nil {
+			return err
+		}
 	}
 	if err := e.tr.Arm(); err != nil {
 		return err

@@ -107,6 +107,22 @@ func (v *mover) quarantinedBases() []addr.Virt {
 	return bases
 }
 
+// activeQuarantined counts pages whose quarantine sentence has not yet
+// expired. Unlike len(quarUntil) it excludes lazily-unexpired entries, so
+// it answers "is quarantine pressure still live?" — the question the
+// daemon's degradation ladder asks while the engine is frozen and nothing
+// else queries (and thus expires) the bench. Pure inspection.
+func (v *mover) activeQuarantined() int {
+	n := 0
+	now := v.periods.Value()
+	for _, until := range v.quarUntil {
+		if now < until {
+			n++
+		}
+	}
+	return n
+}
+
 // isQuarantined reports whether base is still benched; expired sentences are
 // dropped lazily.
 func (v *mover) isQuarantined(base addr.Virt) bool {

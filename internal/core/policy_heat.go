@@ -127,6 +127,10 @@ func (p *HeatPolicy) ColdPages() int { return len(p.cold) }
 // sentence.
 func (p *HeatPolicy) QuarantinedPages() int { return len(p.mv.quarUntil) }
 
+// ActiveQuarantinedPages returns the pages whose quarantine sentence is
+// still running (excludes lazily-unexpired entries).
+func (p *HeatPolicy) ActiveQuarantinedPages() int { return p.mv.activeQuarantined() }
+
 // PlacementStats implements Policy.
 func (p *HeatPolicy) PlacementStats() PlacementStats { return p.mv.stats() }
 

@@ -100,6 +100,10 @@ func (p *ThresholdPolicy) ColdPages() int { return len(p.cold) }
 // quarantine sentence (including lazily-unexpired entries).
 func (p *ThresholdPolicy) QuarantinedPages() int { return len(p.mv.quarUntil) }
 
+// ActiveQuarantinedPages returns the pages whose quarantine sentence is
+// still running (excludes lazily-unexpired entries).
+func (p *ThresholdPolicy) ActiveQuarantinedPages() int { return p.mv.activeQuarantined() }
+
 // PlacementStats implements Policy.
 func (p *ThresholdPolicy) PlacementStats() PlacementStats { return p.mv.stats() }
 

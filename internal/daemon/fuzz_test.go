@@ -1,0 +1,48 @@
+package daemon
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDaemonConfig feeds arbitrary bytes through the config pipeline:
+// Decode must never panic, a rejected document must be rejected
+// identically on a second attempt (deterministic parse errors), and any
+// accepted document must survive the Encode → Decode round trip exactly —
+// the property the checkpoint format and the -check output rely on.
+// Validate runs on every accepted config purely to prove it cannot panic;
+// whether it accepts is input-dependent.
+func FuzzDaemonConfig(f *testing.F) {
+	f.Add([]byte("app: redis\npolicy: thermostat\nslowdown_pct: 3\n"))
+	f.Add([]byte(`{"app":"redis","chaos":{"rate":0.5},"daemon":{"degrade":{"halt_after":2}}}`))
+	f.Add([]byte("app: \"quoted\"\ntiers:\n  - dram\n  - cxl\n"))
+	f.Add([]byte("# only a comment\n"))
+	f.Add([]byte("\tapp: tab-indented\n"))
+	f.Add([]byte("{\"app\":\"x\"} trailing"))
+	f.Add([]byte("a: 1\na: 2\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			// Rejections must be stable: same bytes, same verdict.
+			if _, err2 := Decode(data); err2 == nil {
+				t.Fatalf("nondeterministic reject: first %v, second nil", err)
+			}
+			return
+		}
+		_ = c.Validate() // must not panic; acceptance is input-dependent
+
+		// Accepted documents round-trip exactly through the normalized
+		// encoding (Decode applies Normalize, so Encode is a fixed point).
+		enc := c.Encode()
+		c2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of encoded config failed: %v\nencoded:\n%s", err, enc)
+		}
+		enc2 := c2.Encode()
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode not a fixed point:\nfirst:\n%s\nsecond:\n%s", enc, enc2)
+		}
+	})
+}

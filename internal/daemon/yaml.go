@@ -1,0 +1,268 @@
+// A minimal YAML-subset parser for config files. The repo is dependency-free
+// (go.mod lists nothing), so rather than vendor a YAML library this
+// implements exactly the subset the sample configs need: nested mappings by
+// indentation, "- item" scalar lists, quoted and plain scalars with the
+// usual typings (bool, int, float, null), and '#' comments. Flow
+// collections, anchors, multi-document streams, block scalars and other
+// YAML arcana are rejected with a line-numbered error. The output is the
+// generic map form that feeds the strict JSON decoder in Decode, so unknown
+// and mistyped keys are caught there with field names attached.
+
+package daemon
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// maxYAMLDepth bounds block nesting so hostile input (FuzzDaemonConfig)
+// cannot recurse the parser off the stack. Real configs nest 3 deep.
+const maxYAMLDepth = 32
+
+type yamlLine struct {
+	indent int
+	text   string // content with indentation stripped, comments removed
+	num    int    // 1-based source line
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML parses the subset into map[string]any / []any / scalars.
+// An input that is only comments and blank lines parses as an empty map.
+func parseYAML(data []byte) (any, error) {
+	lines, err := splitYAMLLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.block(lines[0].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("line %d: unexpected indentation", l.num)
+	}
+	return v, nil
+}
+
+// splitYAMLLines strips comments and blank lines and records indentation.
+func splitYAMLLines(data []byte) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		body := stripComment(line)
+		trimmed := strings.TrimRight(body, " \t")
+		indent := 0
+		for indent < len(trimmed) && trimmed[indent] == ' ' {
+			indent++
+		}
+		text := trimmed[indent:]
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "\t") {
+			return nil, fmt.Errorf("line %d: tab in indentation (use spaces)", i+1)
+		}
+		if text == "---" || text == "..." {
+			return nil, fmt.Errorf("line %d: multi-document streams are not supported", i+1)
+		}
+		out = append(out, yamlLine{indent: indent, text: text, num: i + 1})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing '# ...' comment, honouring quotes: a '#'
+// inside single or double quotes is literal, and only a '#' at the start of
+// the line or preceded by whitespace opens a comment (so plain scalars like
+// sha#1 survive, matching YAML).
+func stripComment(line string) string {
+	var inS, inD bool
+	for i := 0; i < len(line); i++ {
+		switch c := line[i]; {
+		case c == '\'' && !inD:
+			inS = !inS
+		case c == '"' && !inS:
+			inD = !inD
+		case c == '#' && !inS && !inD:
+			if i == 0 || line[i-1] == ' ' || line[i-1] == '\t' {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// block parses the run of lines at exactly `indent` as one mapping or list.
+func (p *yamlParser) block(indent, depth int) (any, error) {
+	if depth > maxYAMLDepth {
+		return nil, fmt.Errorf("line %d: nesting deeper than %d levels", p.lines[p.pos].num, maxYAMLDepth)
+	}
+	if p.isListItem() {
+		return p.list(indent)
+	}
+	return p.mapping(indent, depth)
+}
+
+func (p *yamlParser) isListItem() bool {
+	t := p.lines[p.pos].text
+	return t == "-" || strings.HasPrefix(t, "- ")
+}
+
+func (p *yamlParser) mapping(indent, depth int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indentation", l.num)
+		}
+		if p.isListItem() {
+			return nil, fmt.Errorf("line %d: list item inside a mapping", l.num)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		switch {
+		case rest != "":
+			v, err := yamlScalar(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		case p.pos < len(p.lines) && p.lines[p.pos].indent > indent:
+			v, err := p.block(p.lines[p.pos].indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		default:
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+func (p *yamlParser) list(indent int) (any, error) {
+	out := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indentation", l.num)
+		}
+		if !p.isListItem() {
+			return nil, fmt.Errorf("line %d: expected a \"- item\" list entry", l.num)
+		}
+		if l.text == "-" {
+			return nil, fmt.Errorf("line %d: nested blocks under \"-\" are not supported; use \"- value\"", l.num)
+		}
+		v, err := yamlScalar(strings.TrimSpace(l.text[2:]), l.num)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		p.pos++
+	}
+	return out, nil
+}
+
+// splitKey splits "key: value" / "key:" at the first ':' that is followed
+// by a space or ends the line (so scalar values like addresses keep their
+// colons — they only appear on the value side).
+func splitKey(l yamlLine) (key, rest string, err error) {
+	t := l.text
+	for i := 0; i < len(t); i++ {
+		if t[i] != ':' {
+			continue
+		}
+		if i+1 == len(t) || t[i+1] == ' ' {
+			key = strings.TrimSpace(t[:i])
+			rest = strings.TrimSpace(t[i+1:])
+			if key == "" {
+				return "", "", fmt.Errorf("line %d: empty key", l.num)
+			}
+			k, err := unquoteKey(key, l.num)
+			if err != nil {
+				return "", "", err
+			}
+			return k, rest, nil
+		}
+	}
+	return "", "", fmt.Errorf("line %d: expected \"key: value\"", l.num)
+}
+
+func unquoteKey(key string, num int) (string, error) {
+	if len(key) >= 2 && (key[0] == '"' || key[0] == '\'') {
+		v, err := yamlScalar(key, num)
+		if err != nil {
+			return "", err
+		}
+		s, ok := v.(string)
+		if !ok {
+			return "", fmt.Errorf("line %d: bad quoted key", num)
+		}
+		return s, nil
+	}
+	return key, nil
+}
+
+// yamlScalar types a scalar token: quoted strings, booleans, null, integers
+// (int64, falling back to uint64 for large seeds), finite floats, and
+// otherwise the literal string. NaN/Inf stay strings so the JSON bridge
+// never sees an unmarshalable value.
+func yamlScalar(s string, num int) (any, error) {
+	switch {
+	case len(s) >= 1 && s[0] == '"':
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad double-quoted scalar %s", num, s)
+		}
+		return v, nil
+	case len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'':
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	case len(s) >= 1 && s[0] == '\'':
+		return nil, fmt.Errorf("line %d: unterminated single-quoted scalar", num)
+	case s == "[]":
+		return []any{}, nil
+	case s == "{}":
+		return map[string]any{}, nil
+	case len(s) > 0 && (s[0] == '[' || s[0] == '{' || s[0] == '&' || s[0] == '*' || s[0] == '|' || s[0] == '>'):
+		return nil, fmt.Errorf("line %d: flow collections, anchors and block scalars are not supported", num)
+	}
+	switch s {
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	case "null", "Null", "~", "":
+		return nil, nil
+	}
+	if i, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return i, nil
+	}
+	if u, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return u, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil && !math.IsNaN(f) && !math.IsInf(f, 0) {
+		return f, nil
+	}
+	return s, nil
+}

@@ -125,6 +125,7 @@ type Publisher struct {
 	mu       sync.Mutex
 	info     Info
 	phase    string
+	health   string
 	streams  []*stream
 	byLabel  map[string]*stream
 	tenants  []*tenantState
@@ -152,6 +153,15 @@ func (p *Publisher) SetInfo(i Info) {
 func (p *Publisher) SetPhase(phase string) {
 	p.mu.Lock()
 	p.phase = phase
+	p.mu.Unlock()
+}
+
+// SetHealth records the daemon's degradation-ladder position ("healthy",
+// "degraded", "quarantine-only", "halted") for /status. Empty — the default
+// for the batch CLIs, which have no ladder — omits the field.
+func (p *Publisher) SetHealth(health string) {
+	p.mu.Lock()
+	p.health = health
 	p.mu.Unlock()
 }
 
@@ -337,6 +347,7 @@ type TenantState struct {
 type State struct {
 	Info    Info
 	Phase   string
+	Health  string
 	Streams []StreamState
 	Tenants []TenantState
 }
@@ -346,7 +357,7 @@ type State struct {
 func (p *Publisher) State() State {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	st := State{Info: p.info, Phase: p.phase}
+	st := State{Info: p.info, Phase: p.phase, Health: p.health}
 	for _, s := range p.streams {
 		cp := StreamState{
 			Label:         s.label,

@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -8,6 +9,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
+	"time"
 )
 
 // Server exposes a Publisher over HTTP. It replaces the old sim-only debug
@@ -28,6 +31,9 @@ type Server struct {
 	mux *http.ServeMux
 	srv *http.Server
 	ln  net.Listener
+
+	mu     sync.Mutex
+	reload func() ([]string, error)
 }
 
 // NewServer builds a server for pub (which must be non-nil).
@@ -38,6 +44,7 @@ func NewServer(pub *Publisher) *Server {
 	s.mux.HandleFunc("/status", s.handleStatus)
 	s.mux.HandleFunc("/tenants", s.handleTenants)
 	s.mux.HandleFunc("/dump", s.handleDump)
+	s.mux.HandleFunc("/reload", s.handleReload)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -50,25 +57,54 @@ func NewServer(pub *Publisher) *Server {
 // Handler returns the server's mux (for tests via httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// SetReloadHandler installs the function POST /reload invokes (the daemon
+// wires it to a config re-read). Without one, /reload answers 501. The
+// handler returns the queued change list, or an error rendered as 409.
+func (s *Server) SetReloadHandler(fn func() ([]string, error)) {
+	s.mu.Lock()
+	s.reload = fn
+	s.mu.Unlock()
+}
+
 // Start listens on addr and serves in a background goroutine, returning
-// the bound address (useful with ":0").
+// the bound address (useful with ":0"). The server carries read and idle
+// timeouts so a stalled client (slowloris) cannot pin a connection
+// forever; there is deliberately no write timeout, which would cut off
+// streaming pprof profiles.
 func (s *Server) Start(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("obsv: listen %s: %w", addr, err)
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.mux}
+	s.srv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener (idempotent; nil-safe before Start).
+// Close stops the listener immediately, dropping in-flight requests
+// (idempotent; nil-safe before Start). Prefer Shutdown on orderly exits.
 func (s *Server) Close() error {
 	if s.srv == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown drains the server gracefully: the listener closes at once, but
+// in-flight requests (a /metrics scrape, a /dump) finish within ctx's
+// deadline before connections are torn down. Idempotent; nil-safe before
+// Start. Both CLIs and the daemon call this on SIGINT/SIGTERM.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }
 
 // Serve is the one-call helper the cmds use: build a server on pub and
@@ -80,6 +116,29 @@ func Serve(addr string, pub *Publisher) (*Server, string, error) {
 		return nil, "", err
 	}
 	return s, bound, nil
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST /reload", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	fn := s.reload
+	s.mu.Unlock()
+	if fn == nil {
+		http.Error(w, "no reload handler (batch run)", http.StatusNotImplemented)
+		return
+	}
+	changes, err := fn()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	if changes == nil {
+		changes = []string{}
+	}
+	writeJSON(w, map[string]any{"queued": changes})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -108,6 +167,7 @@ type statusRun struct {
 // statusBody is the /status payload.
 type statusBody struct {
 	Phase        string      `json:"phase"`
+	Health       string      `json:"health,omitempty"`
 	Info         Info        `json:"info"`
 	VirtualTimeS float64     `json:"virtual_time_s"`
 	Runs         []statusRun `json:"runs"`
@@ -116,7 +176,7 @@ type statusBody struct {
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	st := s.pub.State()
-	body := statusBody{Phase: st.Phase, Info: st.Info, Runs: []statusRun{}, Tenants: len(st.Tenants)}
+	body := statusBody{Phase: st.Phase, Health: st.Health, Info: st.Info, Runs: []statusRun{}, Tenants: len(st.Tenants)}
 	for _, r := range st.Streams {
 		vt := float64(r.TimeNs) / 1e9
 		if vt > body.VirtualTimeS {

@@ -1,12 +1,19 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"thermostat/internal/addr"
 	"thermostat/internal/pagetable"
 	"thermostat/internal/stats"
 )
+
+// ErrStopRun, returned by a RunConfig.TickHook, stops the run cleanly at
+// the current policy-tick boundary: Run finishes its bookkeeping and
+// returns the partial result with a nil error, exactly as if the duration
+// had elapsed. The daemon's graceful-stop and halt paths use it.
+var ErrStopRun = errors.New("sim: run stopped at tick boundary")
 
 // App is a workload model: it allocates its footprint on Init and then
 // produces an access stream. Apps are closed-loop: the runner issues the
@@ -204,6 +211,15 @@ type RunConfig struct {
 	// by construction; this switch exists so the differential tests can
 	// prove it.
 	DisableBatch bool
+	// TickHook, when non-nil, runs after every policy tick (and after the
+	// telemetry epoch rolls), on the simulation goroutine at virtual time
+	// now. It is the daemon's deterministic control point: config-reload
+	// timeline events, the degradation ladder, and checkpoints all apply
+	// here, so anything the hook changes lands exactly on an epoch
+	// boundary. Returning ErrStopRun ends the run cleanly; any other
+	// error aborts it. The policy interval is re-read after each tick, so
+	// a hook that retunes the scan period takes effect the next period.
+	TickHook func(nowNs int64) error
 }
 
 // RunResult captures everything the experiment harness needs.
@@ -427,6 +443,7 @@ func Run(m *Machine, app App, pol Policy, rc RunConfig) (*RunResult, error) {
 			res.Hot4K.Append(nextWindow-start, float64(fp.Hot4K))
 			nextWindow += window
 		}
+		stopped := false
 		for now >= nextTick {
 			if err := app.Tick(m, now); err != nil {
 				return nil, fmt.Errorf("sim: %s tick: %w", app.Name(), err)
@@ -437,7 +454,24 @@ func Run(m *Machine, app App, pol Policy, rc RunConfig) (*RunResult, error) {
 			if et != nil {
 				et.roll(now)
 			}
-			nextTick += interval
+			if rc.TickHook != nil {
+				if err := rc.TickHook(now); err != nil {
+					if errors.Is(err, ErrStopRun) {
+						stopped = true
+						break
+					}
+					return nil, fmt.Errorf("sim: tick hook: %w", err)
+				}
+			}
+			// Re-read the interval: a TickHook may have retuned the scan
+			// period (reload or degradation), and the change must govern
+			// the very next tick. Policies with a fixed interval return
+			// the same value, so this is bit-identical to the old
+			// captured-once increment.
+			nextTick += pol.IntervalNs()
+		}
+		if stopped {
+			break
 		}
 	}
 	if et != nil {

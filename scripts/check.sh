@@ -103,4 +103,14 @@ echo "== observability gate"
 go test -count=1 -run 'TestServeScrapeMidRun|TestMetricsGoldenScrape|TestTeeForwardsExactly' ./internal/obsv
 ./scripts/obsv_gate.sh
 
+echo "== daemon gate"
+# Supervised lifecycle: reload-vs-cold-start and checkpoint/restore
+# differentials at test level, then thermostatd against real processes and
+# signals — SIGHUP reload mid-run, /status walking the degradation ladder
+# under forced chaos, SIGTERM exit 0, kill -9 + restart restoring exports
+# byte-identical to an uninterrupted run (see scripts/daemon_gate.sh).
+go test -count=1 -run 'TestReloadVsColdStart|TestCheckpointRestoreBitIdentity|TestQuarantineOnlyUnderChaos|TestHaltLadder' \
+	./internal/daemon
+./scripts/daemon_gate.sh
+
 echo "check: OK"
